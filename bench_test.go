@@ -1,0 +1,289 @@
+// Package pilgrim_bench holds the top-level benchmark harness: one
+// benchmark per figure and claim of the paper's evaluation (§IV-C2, §V),
+// plus the ablation benches for the design choices discussed in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Figure-shaped data (the full error-vs-size series) is produced by
+// cmd/experiments; these benchmarks measure the cost of regenerating each
+// figure's workload cell and pin the paper's performance claims.
+package pilgrim_bench
+
+import (
+	"sync"
+	"testing"
+
+	"pilgrim/internal/experiments"
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/nws"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/sim"
+	"pilgrim/internal/stats"
+	"pilgrim/internal/testbed"
+)
+
+var (
+	setupOnce sync.Once
+	runner    *experiments.Runner
+	entry     pilgrim.PlatformEntry
+	setupErr  error
+)
+
+func setup(b *testing.B) *experiments.Runner {
+	b.Helper()
+	setupOnce.Do(func() {
+		ref := g5k.Default()
+		plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest})
+		if err != nil {
+			setupErr = err
+			return
+		}
+		entry = pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}
+		runner, setupErr = experiments.NewRunner(ref, testbed.DefaultConfig(), entry)
+	})
+	if setupErr != nil {
+		b.Fatal(setupErr)
+	}
+	return runner
+}
+
+// benchFigure measures one measurement+prediction cell of a paper figure
+// (mid-sweep 774 MB transfers, one repetition per iteration).
+func benchFigure(b *testing.B, id string) {
+	r := setup(b)
+	spec, ok := experiments.FigureByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	spec.Reps = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i + 1)
+		if _, err := r.RunCell(spec, 7.74e8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 3-5: sagittaire CLUSTER experiments.
+func BenchmarkFigure03SagittaireCluster1x10(b *testing.B)  { benchFigure(b, "fig3") }
+func BenchmarkFigure04SagittaireCluster10x10(b *testing.B) { benchFigure(b, "fig4") }
+func BenchmarkFigure05SagittaireCluster30x30(b *testing.B) { benchFigure(b, "fig5") }
+
+// Figures 6-9: graphene CLUSTER experiments.
+func BenchmarkFigure06GrapheneCluster1x10(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFigure07GrapheneCluster10x10(b *testing.B) { benchFigure(b, "fig7") }
+func BenchmarkFigure08GrapheneCluster30x30(b *testing.B) { benchFigure(b, "fig8") }
+func BenchmarkFigure09GrapheneCluster50x50(b *testing.B) { benchFigure(b, "fig9") }
+
+// Figures 10-11: GRID_MULTI experiments.
+func BenchmarkFigure10GridMulti10x30(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFigure11GridMulti60x60(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkSummaryStats measures the §V-B global statistics computation
+// over a reduced campaign's samples.
+func BenchmarkSummaryStats(b *testing.B) {
+	r := setup(b)
+	var results []*experiments.Result
+	for _, id := range []string{"fig4", "fig7"} {
+		spec, _ := experiments.FigureByID(id)
+		spec.Sizes = []float64{5.99e7, 7.74e8}
+		spec.Reps = 2
+		res, err := r.RunFigure(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Summarize(results)
+	}
+}
+
+// BenchmarkPredict30Transfers pins the paper's performance claim
+// (§IV-C2): "a typical request ... for a prediction involving 30
+// concurrent transfers on Grid'5000 takes less than 0.1 s". The ns/op
+// reported here is the whole PNFS prediction path for 30 transfers.
+func BenchmarkPredict30Transfers(b *testing.B) {
+	setup(b)
+	rng := stats.NewRNG(42)
+	plat := entry.Platform
+	hosts := plat.Hosts()
+	var reqs []pilgrim.TransferRequest
+	idx := rng.Sample(len(hosts), 60)
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, pilgrim.TransferRequest{
+			Src: hosts[idx[k]].ID, Dst: hosts[idx[30+k]].ID, Size: 5e8,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pilgrim.PredictTransfers(entry, reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlatformG5KTest / Cabinets measure generating the two platform
+// flavours of §V-A (the paper: g5k_test is "less optimized ... in size
+// and loading time").
+func BenchmarkPlatformG5KTest(b *testing.B) {
+	ref := g5k.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlatformG5KCabinets(b *testing.B) {
+	ref := g5k.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KCabinets}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutingHierarchical / Flat are the AS ablation of §IV-C2: the
+// paper notes that before hierarchical routing, flat Grid'5000 routing
+// tables were too large to simulate. Allocated bytes per op show the
+// route-storage blowup of the flat platform.
+func BenchmarkRoutingHierarchical(b *testing.B) {
+	ref := g5k.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Resolve a representative sample of routes (full resolution is
+		// quadratic; the flat variant pays it at build time instead).
+		hosts := plat.Hosts()
+		for k := 0; k < 100; k++ {
+			a := hosts[(k*37)%len(hosts)]
+			c := hosts[(k*53+11)%len(hosts)]
+			if a == c {
+				continue
+			}
+			if _, err := plat.RouteBetween(a.ID, c.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRoutingFlat(b *testing.B) {
+	ref := g5k.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest, Flat: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hosts := plat.Hosts()
+		for k := 0; k < 100; k++ {
+			a := hosts[(k*37)%len(hosts)]
+			c := hosts[(k*53+11)%len(hosts)]
+			if a == c {
+				continue
+			}
+			if _, err := plat.RouteBetween(a.ID, c.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBaselineNWS measures the statistical baseline (§III-B): a
+// full NWS-style forecast (probe history update + prediction) for the
+// same 30-transfer batch. It is orders of magnitude cheaper than the
+// simulation — and structurally blind to the contention between the
+// requested transfers (see nws.TestNWSContentionBlindness).
+func BenchmarkBaselineNWS(b *testing.B) {
+	forecasters := make([]*nws.PathForecaster, 30)
+	rng := stats.NewRNG(7)
+	for i := range forecasters {
+		forecasters[i] = nws.NewPathForecaster()
+		for probe := 0; probe < 50; probe++ {
+			forecasters[i].Observe(100e6+rng.Float64()*20e6, 1e-3)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range forecasters {
+			if _, ok := f.PredictTransfer(5e8); !ok {
+				b.Fatal("no prediction")
+			}
+		}
+	}
+}
+
+// BenchmarkEquipmentLimitsAblation measures the prediction cost with the
+// future-work equipment-capacity constraints enabled (extra backplane
+// links on every route).
+func BenchmarkEquipmentLimitsAblation(b *testing.B) {
+	ref := g5k.Default()
+	plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest, EquipmentLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}
+	rng := stats.NewRNG(42)
+	hosts := plat.Hosts()
+	var reqs []pilgrim.TransferRequest
+	idx := rng.Sample(len(hosts), 60)
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, pilgrim.TransferRequest{
+			Src: hosts[idx[k]].ID, Dst: hosts[idx[30+k]].ID, Size: 5e8,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pilgrim.PredictTransfers(e, reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPredictionLatencyClaim asserts the paper's <0.1s figure directly:
+// one 30-transfer prediction on the full platform must complete within
+// 100 ms of wall-clock on commodity hardware.
+func TestPredictionLatencyClaim(t *testing.T) {
+	ref := g5k.Default()
+	plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}
+	rng := stats.NewRNG(1)
+	hosts := plat.Hosts()
+	idx := rng.Sample(len(hosts), 60)
+	var reqs []pilgrim.TransferRequest
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, pilgrim.TransferRequest{
+			Src: hosts[idx[k]].ID, Dst: hosts[idx[30+k]].ID, Size: 5e8,
+		})
+	}
+	// Warm the route cache (the server does this naturally over time).
+	if _, err := pilgrim.PredictTransfers(e, reqs, nil); err != nil {
+		t.Fatal(err)
+	}
+	start := nowMonotonic()
+	if _, err := pilgrim.PredictTransfers(e, reqs, nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := nowMonotonic() - start
+	if elapsed > 0.1 {
+		t.Errorf("30-transfer prediction took %.3fs, paper claims < 0.1s", elapsed)
+	}
+}

@@ -1,0 +1,58 @@
+// Command g5kapi serves the simulated Grid'5000 Reference API (paper
+// §IV-B): the JSON self-description of sites, clusters, nodes and network
+// equipment that the platform generator consumes.
+//
+// Usage:
+//
+//	g5kapi [-addr :8181] [-json FILE] [-dump]
+//
+// Without -json the embedded Lille+Lyon+Nancy dataset is served. With
+// -dump the dataset is written to stdout instead of serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"pilgrim/internal/g5k"
+)
+
+func main() {
+	addr := flag.String("addr", ":8181", "listen address")
+	jsonFile := flag.String("json", "", "serve a reference description from this JSON file instead of the embedded dataset")
+	dump := flag.Bool("dump", false, "write the dataset as JSON to stdout and exit")
+	flag.Parse()
+
+	if err := run(*addr, *jsonFile, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "g5kapi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, jsonFile string, dump bool) error {
+	ref := g5k.Default()
+	if jsonFile != "" {
+		f, err := os.Open(jsonFile)
+		if err != nil {
+			return err
+		}
+		loaded, err := g5k.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		ref = loaded
+	}
+	if err := ref.Validate(); err != nil {
+		return fmt.Errorf("invalid reference: %w", err)
+	}
+	if dump {
+		return ref.WriteJSON(os.Stdout)
+	}
+	log.Printf("g5kapi serving %d nodes across %d sites on %s",
+		ref.NumNodes(), len(ref.Sites), addr)
+	return http.ListenAndServe(addr, g5k.NewServer(ref))
+}

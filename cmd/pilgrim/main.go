@@ -1,0 +1,163 @@
+// Command pilgrim is the CLI client for a Pilgrim server, covering both
+// services with the same requests as the paper's curl examples (§IV-C).
+//
+// Usage:
+//
+//	pilgrim -server http://localhost:8080 platforms
+//	pilgrim -server URL predict -platform g5k_test SRC,DST,SIZE [SRC,DST,SIZE...]
+//	pilgrim -server URL fastest -platform g5k_test "SRC,DST,SIZE[;...]" ...
+//	pilgrim -server URL rrd TOOL SITE HOST METRIC BEGIN END
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pilgrim/internal/pilgrim"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "Pilgrim server base URL")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	client := pilgrim.NewClient(*server)
+	var err error
+	switch flag.Arg(0) {
+	case "platforms":
+		err = cmdPlatforms(client)
+	case "predict":
+		err = cmdPredict(client, flag.Args()[1:])
+	case "fastest":
+		err = cmdFastest(client, flag.Args()[1:])
+	case "rrd":
+		err = cmdRRD(client, flag.Args()[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilgrim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pilgrim [-server URL] platforms
+  pilgrim [-server URL] predict -platform NAME SRC,DST,SIZE [SRC,DST,SIZE...]
+  pilgrim [-server URL] fastest -platform NAME "SRC,DST,SIZE[;SRC,DST,SIZE...]" ...
+  pilgrim [-server URL] rrd TOOL SITE HOST METRIC BEGIN END`)
+}
+
+func cmdPlatforms(c *pilgrim.Client) error {
+	names, err := c.Platforms()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func parseTransfer(arg string) (pilgrim.TransferRequest, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 3 {
+		return pilgrim.TransferRequest{}, fmt.Errorf("%q is not SRC,DST,SIZE", arg)
+	}
+	size, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return pilgrim.TransferRequest{}, fmt.Errorf("size in %q: %v", arg, err)
+	}
+	return pilgrim.TransferRequest{Src: parts[0], Dst: parts[1], Size: size}, nil
+}
+
+func cmdPredict(c *pilgrim.Client, args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	platformName := fs.String("platform", "g5k_test", "platform to simulate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("predict needs at least one SRC,DST,SIZE argument")
+	}
+	var transfers []pilgrim.TransferRequest
+	for _, arg := range fs.Args() {
+		t, err := parseTransfer(arg)
+		if err != nil {
+			return err
+		}
+		transfers = append(transfers, t)
+	}
+	preds, err := c.PredictTransfers(*platformName, transfers)
+	if err != nil {
+		return err
+	}
+	for _, p := range preds {
+		fmt.Printf("%s -> %s  %.0f bytes  predicted %.6g s\n", p.Src, p.Dst, p.Size, p.Duration)
+	}
+	return nil
+}
+
+func cmdFastest(c *pilgrim.Client, args []string) error {
+	fs := flag.NewFlagSet("fastest", flag.ExitOnError)
+	platformName := fs.String("platform", "g5k_test", "platform to simulate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("fastest needs at least two hypotheses")
+	}
+	var hyps []pilgrim.Hypothesis
+	for _, arg := range fs.Args() {
+		var h pilgrim.Hypothesis
+		for _, tArg := range strings.Split(arg, ";") {
+			t, err := parseTransfer(tArg)
+			if err != nil {
+				return err
+			}
+			h.Transfers = append(h.Transfers, t)
+		}
+		hyps = append(hyps, h)
+	}
+	best, results, err := c.SelectFastest(*platformName, hyps)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		marker := " "
+		if r.Index == best {
+			marker = "*"
+		}
+		fmt.Printf("%s hypothesis %d: makespan %.6g s\n", marker, r.Index, r.Makespan)
+	}
+	return nil
+}
+
+func cmdRRD(c *pilgrim.Client, args []string) error {
+	if len(args) != 6 {
+		return fmt.Errorf("rrd needs TOOL SITE HOST METRIC BEGIN END")
+	}
+	begin, err := strconv.ParseInt(args[4], 10, 64)
+	if err != nil {
+		return fmt.Errorf("begin: %v", err)
+	}
+	end, err := strconv.ParseInt(args[5], 10, 64)
+	if err != nil {
+		return fmt.Errorf("end: %v", err)
+	}
+	points, err := c.FetchMetric(args[0], args[1], args[2], args[3], begin, end)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Printf("%d %.6g\n", p.Timestamp, p.Value)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command pilgrimd runs the Pilgrim server: the metrology RRD service and
+// the network forecast service (PNFS), as deployed in the paper (§IV-C).
+//
+// Usage:
+//
+//	pilgrimd [-addr :8080] [-g5k-api URL] [-rrd-tree DIR]
+//	         [-gamma-latfactor] [-equipment-limits] [-measured-latencies]
+//
+// Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
+// reference description — fetched from a reference API server when
+// -g5k-api is given, otherwise the embedded dataset — and registered
+// under their paper names. An RRD file tree (as written by the metrology
+// collector) can be served with -rrd-tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/metrology"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	g5kAPI := flag.String("g5k-api", "", "base URL of a Grid'5000 reference API server (default: embedded dataset)")
+	rrdTree := flag.String("rrd-tree", "", "directory of RRD files to serve through the metrology service")
+	gammaLat := flag.Bool("gamma-latfactor", false, "apply the latency correction factor inside the TCP window bound (reproduces the paper's worked example)")
+	equipLimits := flag.Bool("equipment-limits", false, "model network equipment backplane limits (future-work extension)")
+	measuredLat := flag.Bool("measured-latencies", false, "use measured backbone latencies instead of the hardcoded 2.25e-3 s (future-work extension)")
+	flag.Parse()
+
+	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat); err != nil {
+		fmt.Fprintln(os.Stderr, "pilgrimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool) error {
+	ref := g5k.Default()
+	if g5kAPI != "" {
+		fetched, err := g5k.Fetch(nil, g5kAPI)
+		if err != nil {
+			return fmt.Errorf("fetching reference API: %w", err)
+		}
+		ref = fetched
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.GammaUsesLatencyFactor = gammaLat
+
+	registry := pilgrim.NewRegistry()
+	for _, variant := range []platgen.Variant{platgen.G5KTest, platgen.G5KCabinets} {
+		plat, err := platgen.Generate(ref, platgen.Options{
+			Variant:              variant,
+			EquipmentLimits:      equipLimits,
+			UseMeasuredLatencies: measuredLat,
+		})
+		if err != nil {
+			return fmt.Errorf("generating %s: %w", variant, err)
+		}
+		if err := registry.Add(variant.String(), pilgrim.PlatformEntry{Platform: plat, Config: cfg}); err != nil {
+			return err
+		}
+		log.Printf("registered platform %s: %d hosts, %d links",
+			variant, plat.NumHosts(), plat.NumLinks())
+	}
+
+	var metrics *metrology.Registry
+	if rrdTree != "" {
+		loaded, err := metrology.LoadTree(rrdTree)
+		if err != nil {
+			return fmt.Errorf("loading RRD tree: %w", err)
+		}
+		metrics = loaded
+		log.Printf("serving %d metrics from %s", len(metrics.Paths()), rrdTree)
+	}
+
+	log.Printf("pilgrimd listening on %s", addr)
+	return http.ListenAndServe(addr, pilgrim.NewServer(registry, metrics))
+}

@@ -1,0 +1,218 @@
+// Command rrdtool is a miniature rrdtool for the PRRD files used by the
+// metrology stack: create databases, feed updates, fetch ranges, dump
+// structure.
+//
+// Usage:
+//
+//	rrdtool create FILE -step 15 -ds name[:gauge|:counter[:heartbeat]] \
+//	        -rra CF:pdpPerRow:rows [-rra ...]
+//	rrdtool update FILE TIMESTAMP:VALUE[:VALUE...] ...
+//	rrdtool fetch FILE CF BEGIN END
+//	rrdtool dump FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pilgrim/internal/rrd"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "create":
+		err = cmdCreate(os.Args[2], os.Args[3:])
+	case "update":
+		err = cmdUpdate(os.Args[2], os.Args[3:])
+	case "fetch":
+		err = cmdFetch(os.Args[2], os.Args[3:])
+	case "dump":
+		err = cmdDump(os.Args[2])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrdtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rrdtool create FILE -step SECONDS -ds NAME[:gauge|:counter[:HEARTBEAT]] -rra CF:PDP:ROWS [...]
+  rrdtool update FILE TS:VALUE[:VALUE...] [...]
+  rrdtool fetch FILE AVERAGE|MIN|MAX|LAST BEGIN END
+  rrdtool dump FILE`)
+}
+
+type rraFlags []rrd.RRA
+
+func (r *rraFlags) String() string { return fmt.Sprint(*r) }
+func (r *rraFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("RRA %q is not CF:pdpPerRow:rows", v)
+	}
+	cf, err := rrd.ParseCF(parts[0])
+	if err != nil {
+		return err
+	}
+	pdp, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	rows, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return err
+	}
+	*r = append(*r, rrd.RRA{CF: cf, PdpPerRow: pdp, Rows: rows})
+	return nil
+}
+
+type dsFlags []rrd.DS
+
+func (d *dsFlags) String() string { return fmt.Sprint(*d) }
+func (d *dsFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	ds := rrd.DS{Name: parts[0], Kind: rrd.Gauge, Heartbeat: 120}
+	if len(parts) >= 2 {
+		switch parts[1] {
+		case "gauge", "":
+			ds.Kind = rrd.Gauge
+		case "counter":
+			ds.Kind = rrd.Counter
+		default:
+			return fmt.Errorf("unknown DS kind %q", parts[1])
+		}
+	}
+	if len(parts) >= 3 {
+		hb, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		ds.Heartbeat = hb
+	}
+	*d = append(*d, ds)
+	return nil
+}
+
+func cmdCreate(file string, args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	step := fs.Int64("step", 15, "primary step in seconds")
+	var rras rraFlags
+	var dss dsFlags
+	fs.Var(&rras, "rra", "archive CF:pdpPerRow:rows (repeatable)")
+	fs.Var(&dss, "ds", "data source NAME[:gauge|:counter[:HEARTBEAT]] (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := rrd.Create(*step, dss, rras)
+	if err != nil {
+		return err
+	}
+	return db.SaveFile(file)
+}
+
+func cmdUpdate(file string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("update needs at least one TS:VALUE argument")
+	}
+	db, err := rrd.LoadFile(file)
+	if err != nil {
+		return err
+	}
+	for _, arg := range args {
+		parts := strings.Split(arg, ":")
+		if len(parts) < 2 {
+			return fmt.Errorf("update %q is not TS:VALUE", arg)
+		}
+		ts, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("timestamp in %q: %v", arg, err)
+		}
+		values := make([]float64, len(parts)-1)
+		for i, p := range parts[1:] {
+			if p == "U" {
+				values[i] = math.NaN()
+				continue
+			}
+			values[i], err = strconv.ParseFloat(p, 64)
+			if err != nil {
+				return fmt.Errorf("value in %q: %v", arg, err)
+			}
+		}
+		if err := db.Update(ts, values); err != nil {
+			return err
+		}
+	}
+	return db.SaveFile(file)
+}
+
+func cmdFetch(file string, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("fetch needs CF BEGIN END")
+	}
+	cf, err := rrd.ParseCF(args[0])
+	if err != nil {
+		return err
+	}
+	begin, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return err
+	}
+	end, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil {
+		return err
+	}
+	db, err := rrd.LoadFile(file)
+	if err != nil {
+		return err
+	}
+	series, err := db.FetchBest(cf, begin, end)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# step %d, ds %s\n", series.Step, strings.Join(series.Names, " "))
+	for i, row := range series.Rows {
+		fmt.Printf("%d", series.Start+int64(i)*series.Step)
+		for _, v := range row {
+			if math.IsNaN(v) {
+				fmt.Printf(" U")
+			} else {
+				fmt.Printf(" %.6g", v)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdDump(file string) error {
+	db, err := rrd.LoadFile(file)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step: %d\nlast update: %d\n", db.Step(), db.LastUpdate())
+	for _, ds := range db.DataSources() {
+		kind := "gauge"
+		if ds.Kind == rrd.Counter {
+			kind = "counter"
+		}
+		fmt.Printf("ds: %s (%s, heartbeat %d)\n", ds.Name, kind, ds.Heartbeat)
+	}
+	for _, a := range db.Archives() {
+		fmt.Printf("rra: %s, %d pdp/row, %d rows (%d s/row)\n",
+			a.CF, a.PdpPerRow, a.Rows, db.Step()*int64(a.PdpPerRow))
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Metrology reproduces the paper's metrology-service example (§IV-C1):
+// collect a Ganglia-style power-consumption metric for sagittaire-1 into
+// an RRD tree, serve it through Pilgrim's RRD web service, and query one
+// minute of data — the same request as the paper's curl example:
+//
+//	curl "http://localhost/pilgrim/rrd/ganglia/lyon/\
+//	  sagittaire-1.lyon.grid5000.fr/pdu.rrd/?begin=...&end=..."
+//
+// Run with: go run ./examples/metrology
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+
+	"pilgrim/internal/metrology"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/rrd"
+)
+
+func main() {
+	// Collect 9 simulated hours of the "pdu" metric at the Ganglia
+	// 15-second period. sagittaire-1 is a dual Opteron idling at
+	// ~168.9 W, as in the paper's example answer.
+	metrics := metrology.NewRegistry()
+	path := metrology.MetricPath{
+		Tool: "ganglia", Site: "lyon",
+		Host: "sagittaire-1.lyon.grid5000.fr", Metric: "pdu",
+	}
+	if err := metrics.Register(path, rrd.Gauge, 15, metrology.PowerSource(168.8, 12, 42)); err != nil {
+		log.Fatal(err)
+	}
+	if err := metrics.Collect(0, 9*3600); err != nil {
+		log.Fatal(err)
+	}
+
+	server := httptest.NewServer(pilgrim.NewServer(nil, metrics))
+	defer server.Close()
+
+	// The paper's query: one minute of power data at 08:00.
+	url := server.URL + "/pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/" +
+		"?begin=1970-01-01%2008:00:00&end=1970-01-01%2008:01:00"
+	fmt.Println("GET", url)
+	resp, err := server.Client().Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", body)
+
+	// The same through the typed client.
+	client := pilgrim.NewClient(server.URL)
+	points, err := client.FetchMetric("ganglia", "lyon", "sagittaire-1.lyon.grid5000.fr", "pdu",
+		8*3600, 8*3600+60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("typed client view (four 15 s samples, like the paper's answer):")
+	for _, p := range points {
+		fmt.Printf("  t=%-6d  %.3f W\n", p.Timestamp, p.Value)
+	}
+}

@@ -1,0 +1,118 @@
+package pilgrim_bench
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pilgrim/internal/experiments"
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/sim"
+	"pilgrim/internal/testbed"
+)
+
+// nowMonotonic returns seconds from a monotonic clock.
+func nowMonotonic() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}
+
+// TestCampaignQuickEndToEnd is the system-level integration test: a
+// reduced campaign (two figures, two sizes, two repetitions) through the
+// real wiring — reference dataset, generated platform, emulated testbed,
+// forecast service — producing sane figures and summary statistics.
+func TestCampaignQuickEndToEnd(t *testing.T) {
+	ref := g5k.Default()
+	plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := experiments.NewRunner(ref, testbed.DefaultConfig(),
+		pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var results []*experiments.Result
+	for _, id := range []string{"fig4", "fig7"} {
+		spec, ok := experiments.FigureByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		spec.Sizes = []float64{1e5, 7.74e8}
+		spec.Reps = 2
+		res, err := runner.RunFigure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cells) != 2 {
+			t.Fatalf("%s: %d cells", id, len(res.Cells))
+		}
+		for _, c := range res.Cells {
+			if len(c.Samples) != 2*10 { // reps x transfers
+				t.Errorf("%s size %.3g: %d samples, want 20", id, c.Size, len(c.Samples))
+			}
+			for _, s := range c.Samples {
+				if s.Measured <= 0 || s.Predicted <= 0 {
+					t.Fatalf("non-positive duration in %+v", s)
+				}
+				if math.IsNaN(s.Log2Error) || math.IsInf(s.Log2Error, 0) {
+					t.Fatalf("bad error in %+v", s)
+				}
+			}
+		}
+		fig := res.Figure()
+		if err := fig.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	sum := experiments.Summarize(results)
+	if sum.N != 40 { // 2 figures x 1 large size x 20 samples
+		t.Errorf("summary over %d samples, want 40", sum.N)
+	}
+	if sum.MedianAbsError < 0 || sum.MedianAbsError > 1 {
+		t.Errorf("median abs error = %v, implausible", sum.MedianAbsError)
+	}
+}
+
+// TestVariantAblation verifies §V-A's platform finding end to end: the
+// detailed g5k_test platform predicts graphene cross-group contention
+// (30x30, large transfers) better than the abstracted g5k_cabinets one.
+func TestVariantAblation(t *testing.T) {
+	ref := g5k.Default()
+	spec, _ := experiments.FigureByID("fig8")
+	spec.Sizes = []float64{7.74e8}
+	spec.Reps = 3
+
+	medianAbs := func(variant platgen.Variant) float64 {
+		plat, err := platgen.Generate(ref, platgen.Options{Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner, err := experiments.NewRunner(ref, testbed.DefaultConfig(),
+			pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.RunFigure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.LargeSizeMedianError())
+	}
+
+	testErr := medianAbs(platgen.G5KTest)
+	cabErr := medianAbs(platgen.G5KCabinets)
+	// The paper found "all predictions based on g5k_test are better";
+	// for this workload the difference must not invert badly. (Both are
+	// biased positive on graphene; cabinets collapses the aggregation
+	// bottleneck it cannot see.)
+	if testErr > cabErr+0.3 {
+		t.Errorf("g5k_test error %.3f should not be clearly worse than g5k_cabinets %.3f",
+			testErr, cabErr)
+	}
+	t.Logf("fig8 large-size |median error|: g5k_test=%.3f g5k_cabinets=%.3f", testErr, cabErr)
+}

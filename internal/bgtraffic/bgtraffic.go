@@ -1,0 +1,184 @@
+// Package bgtraffic implements the paper's background-traffic future work
+// (§VI): "model the background traffic of Grid'5000, thanks to the
+// ongoing work on this platform's network instrumentation. Of course, we
+// will have to find a tradeoff between a very accurate dynamic model of
+// the platform involving too much data ... or a coarse model."
+//
+// This is the coarse model: per-node interface counters (collected by the
+// metrology stack into RRDs) are reduced to average transmit/receive
+// rates over a recent window, and the heaviest transmitters are matched
+// to the heaviest receivers to synthesize a bounded set of persistent
+// background flows. Those flows are then injected into forecast
+// simulations (Engine.AddBackgroundFlow / the PNFS bg parameter), where
+// they contend with the requested transfers like any TCP stream.
+package bgtraffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pilgrim/internal/metrology"
+	"pilgrim/internal/rrd"
+)
+
+// Observation is one node's traffic level over the estimation window.
+type Observation struct {
+	Node   string // fully qualified node name
+	TxRate float64
+	RxRate float64
+}
+
+// Flow is one synthesized background flow.
+type Flow struct {
+	Src string
+	Dst string
+}
+
+// Config bounds the coarse model.
+type Config struct {
+	// RatePerFlow is the traffic volume one synthesized flow represents,
+	// in bytes/s. A node transmitting at 3x this rate contributes up to
+	// three flows. Must be > 0.
+	RatePerFlow float64
+	// MaxFlows caps the model size (the paper's "too much data" side of
+	// the tradeoff). 0 means no cap.
+	MaxFlows int
+	// MinRate ignores nodes below this rate (idle chatter).
+	MinRate float64
+}
+
+// DefaultConfig models one flow per 30 MB/s of observed traffic, at most
+// 64 flows, ignoring nodes under 1 MB/s.
+func DefaultConfig() Config {
+	return Config{RatePerFlow: 30e6, MaxFlows: 64, MinRate: 1e6}
+}
+
+// Estimate reduces per-node observations to a coarse set of background
+// flows: transmit demand is matched to receive demand greedily, heaviest
+// first, never pairing a node with itself.
+func Estimate(obs []Observation, cfg Config) ([]Flow, error) {
+	if cfg.RatePerFlow <= 0 {
+		return nil, fmt.Errorf("bgtraffic: RatePerFlow must be positive")
+	}
+	type demand struct {
+		node  string
+		flows int
+	}
+	var txs, rxs []demand
+	for _, o := range obs {
+		if o.TxRate >= cfg.MinRate && o.TxRate > 0 {
+			n := int(math.Round(o.TxRate / cfg.RatePerFlow))
+			if n == 0 {
+				n = 1
+			}
+			txs = append(txs, demand{node: o.Node, flows: n})
+		}
+		if o.RxRate >= cfg.MinRate && o.RxRate > 0 {
+			n := int(math.Round(o.RxRate / cfg.RatePerFlow))
+			if n == 0 {
+				n = 1
+			}
+			rxs = append(rxs, demand{node: o.Node, flows: n})
+		}
+	}
+	// Heaviest first; name-ordered ties for determinism.
+	byLoad := func(ds []demand) {
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].flows != ds[j].flows {
+				return ds[i].flows > ds[j].flows
+			}
+			return ds[i].node < ds[j].node
+		})
+	}
+	byLoad(txs)
+	byLoad(rxs)
+
+	var flows []Flow
+	ri := 0
+	for _, tx := range txs {
+		for f := 0; f < tx.flows; f++ {
+			if cfg.MaxFlows > 0 && len(flows) >= cfg.MaxFlows {
+				return flows, nil
+			}
+			if len(rxs) == 0 {
+				return flows, nil
+			}
+			// Find the next receiver that is not the sender itself.
+			tried := 0
+			for rxs[ri%len(rxs)].node == tx.node {
+				ri++
+				tried++
+				if tried > len(rxs) {
+					// Only the sender receives traffic; cannot pair.
+					return flows, nil
+				}
+			}
+			rx := rxs[ri%len(rxs)]
+			ri++
+			flows = append(flows, Flow{Src: tx.node, Dst: rx.node})
+		}
+	}
+	return flows, nil
+}
+
+// FromMetrology builds observations from interface-counter metrics in a
+// registry: for every node with "bytes_out"/"bytes_in" Counter metrics
+// under the given tool, the average rate over [begin, end) is used.
+// Nodes missing a direction default that direction to zero.
+func FromMetrology(reg *metrology.Registry, tool string, begin, end int64) ([]Observation, error) {
+	if end <= begin {
+		return nil, fmt.Errorf("bgtraffic: empty window [%d, %d)", begin, end)
+	}
+	byNode := make(map[string]*Observation)
+	for _, p := range reg.Paths() {
+		if p.Tool != tool {
+			continue
+		}
+		var dir *float64
+		switch p.Metric {
+		case "bytes_out", "bytes_in":
+		default:
+			continue
+		}
+		db, ok := reg.Database(p)
+		if !ok {
+			continue
+		}
+		series, err := db.FetchBest(rrd.Average, begin, end)
+		if err != nil {
+			return nil, fmt.Errorf("bgtraffic: %s: %w", p, err)
+		}
+		sum, n := 0.0, 0
+		for _, row := range series.Rows {
+			if len(row) > 0 && !math.IsNaN(row[0]) {
+				sum += row[0]
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		o := byNode[p.Host]
+		if o == nil {
+			o = &Observation{Node: p.Host}
+			byNode[p.Host] = o
+		}
+		if p.Metric == "bytes_out" {
+			dir = &o.TxRate
+		} else {
+			dir = &o.RxRate
+		}
+		*dir = sum / float64(n)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	out := make([]Observation, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, *byNode[n])
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package bgtraffic
+
+import (
+	"testing"
+
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/metrology"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/rrd"
+	"pilgrim/internal/sim"
+)
+
+func TestEstimateBasicMatching(t *testing.T) {
+	obs := []Observation{
+		{Node: "tx-heavy", TxRate: 90e6},
+		{Node: "rx-heavy", RxRate: 90e6},
+		{Node: "idle", TxRate: 100}, // below MinRate
+	}
+	flows, err := Estimate(obs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 3 { // 90e6 / 30e6 = 3 flows
+		t.Fatalf("flows = %d, want 3: %v", len(flows), flows)
+	}
+	for _, f := range flows {
+		if f.Src != "tx-heavy" || f.Dst != "rx-heavy" {
+			t.Errorf("unexpected flow %v", f)
+		}
+	}
+}
+
+func TestEstimateNeverSelfPairs(t *testing.T) {
+	obs := []Observation{
+		{Node: "both", TxRate: 60e6, RxRate: 60e6},
+		{Node: "other", RxRate: 30e6},
+	}
+	flows, err := Estimate(obs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Errorf("self-paired flow %v", f)
+		}
+	}
+}
+
+func TestEstimateOnlySelfReceiver(t *testing.T) {
+	// The only receiver is the sender itself: no flows, no hang.
+	obs := []Observation{{Node: "solo", TxRate: 90e6, RxRate: 90e6}}
+	flows, err := Estimate(obs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 0 {
+		t.Errorf("flows = %v, want none", flows)
+	}
+}
+
+func TestEstimateMaxFlowsCap(t *testing.T) {
+	obs := []Observation{
+		{Node: "a", TxRate: 300e6},
+		{Node: "b", RxRate: 300e6},
+	}
+	cfg := DefaultConfig()
+	cfg.MaxFlows = 4
+	flows, err := Estimate(obs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 4 {
+		t.Errorf("flows = %d, want cap 4", len(flows))
+	}
+}
+
+func TestEstimateRejectsBadConfig(t *testing.T) {
+	if _, err := Estimate(nil, Config{}); err == nil {
+		t.Error("zero RatePerFlow accepted")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	obs := []Observation{
+		{Node: "n1", TxRate: 60e6},
+		{Node: "n2", TxRate: 60e6},
+		{Node: "n3", RxRate: 60e6},
+		{Node: "n4", RxRate: 60e6},
+	}
+	a, err := Estimate(obs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(obs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("flow %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFromMetrology(t *testing.T) {
+	reg := metrology.NewRegistry()
+	host := "sagittaire-1.lyon.grid5000.fr"
+	// A counter growing 30e6 bytes/s.
+	mustRegister(t, reg, host, "bytes_out", func(ts int64) float64 { return float64(ts) * 30e6 })
+	mustRegister(t, reg, host, "bytes_in", func(ts int64) float64 { return float64(ts) * 1e6 })
+	// Another tool's metric must be ignored.
+	other := metrology.MetricPath{Tool: "munin", Site: "lyon", Host: host, Metric: "bytes_out"}
+	if err := reg.Register(other, rrd.Counter, 15, func(ts int64) float64 { return float64(ts) * 999e6 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Collect(0, 3600); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := FromMetrology(reg, "ganglia", 600, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("observations = %d, want 1", len(obs))
+	}
+	if obs[0].Node != host {
+		t.Errorf("node = %s", obs[0].Node)
+	}
+	if obs[0].TxRate < 25e6 || obs[0].TxRate > 35e6 {
+		t.Errorf("tx rate = %.3g, want ~30e6", obs[0].TxRate)
+	}
+	if obs[0].RxRate < 0.5e6 || obs[0].RxRate > 1.5e6 {
+		t.Errorf("rx rate = %.3g, want ~1e6", obs[0].RxRate)
+	}
+	if _, err := FromMetrology(reg, "ganglia", 100, 100); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func mustRegister(t *testing.T, reg *metrology.Registry, host, metric string, src metrology.Source) {
+	t.Helper()
+	p := metrology.MetricPath{Tool: "ganglia", Site: "lyon", Host: host, Metric: metric}
+	if err := reg.Register(p, rrd.Counter, 15, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndToEndBackgroundInjection closes the future-work loop: metrology
+// counters -> coarse flow model -> slower PNFS forecast.
+func TestEndToEndBackgroundInjection(t *testing.T) {
+	ref := g5k.Mini()
+	plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}
+
+	// Instrument two graphene nodes exchanging heavy traffic.
+	reg := metrology.NewRegistry()
+	tx := metrology.MetricPath{Tool: "ganglia", Site: "nancy",
+		Host: "graphene-1.nancy.grid5000.fr", Metric: "bytes_out"}
+	rx := metrology.MetricPath{Tool: "ganglia", Site: "nancy",
+		Host: "graphene-2.nancy.grid5000.fr", Metric: "bytes_in"}
+	if err := reg.Register(tx, rrd.Counter, 15, func(ts int64) float64 { return float64(ts) * 60e6 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(rx, rrd.Counter, 15, func(ts int64) float64 { return float64(ts) * 60e6 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Collect(0, 1800); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := FromMetrology(reg, "ganglia", 300, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := Estimate(obs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no background flows estimated")
+	}
+
+	// The forecast for a transfer sharing graphene-2's access link must
+	// slow down once the background model is injected.
+	req := []pilgrim.TransferRequest{{
+		Src: "graphene-3.nancy.grid5000.fr", Dst: "graphene-2.nancy.grid5000.fr", Size: 5e8,
+	}}
+	base, err := pilgrim.PredictTransfers(entry, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bg [][2]string
+	for _, f := range flows {
+		bg = append(bg, [2]string{f.Src, f.Dst})
+	}
+	loaded, err := pilgrim.PredictTransfers(entry, req, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded[0].Duration <= base[0].Duration*1.2 {
+		t.Errorf("background injection had too little effect: %v vs %v",
+			loaded[0].Duration, base[0].Duration)
+	}
+}

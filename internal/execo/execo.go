@@ -1,0 +1,299 @@
+// Package execo is the experiment-orchestration engine driving the
+// evaluation campaign, in the spirit of the Execo tool the paper used for
+// "powerful scripting of the experiments" (§V-A): composable actions
+// (sequential, parallel, bounded-parallel, retried, time-limited) executed
+// with real concurrency, producing a structured report tree with per-
+// action timing and outcome.
+package execo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Status is the outcome of one action.
+type Status int
+
+// Action outcomes.
+const (
+	Pending Status = iota
+	OK
+	Failed
+	Skipped
+)
+
+// String returns a short label.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case OK:
+		return "ok"
+	case Failed:
+		return "failed"
+	case Skipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Report is the outcome tree of an action run.
+type Report struct {
+	Name     string
+	Status   Status
+	Err      error
+	Start    time.Time
+	Duration time.Duration
+	Attempts int
+	Children []*Report
+}
+
+// Failed returns all failed leaf reports under r.
+func (r *Report) FailedLeaves() []*Report {
+	var out []*Report
+	var walk func(*Report)
+	walk = func(n *Report) {
+		if len(n.Children) == 0 {
+			if n.Status == Failed {
+				out = append(out, n)
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(r)
+	return out
+}
+
+// String renders the report tree with indentation.
+func (r *Report) String() string {
+	var b strings.Builder
+	var walk func(*Report, int)
+	walk = func(n *Report, depth int) {
+		fmt.Fprintf(&b, "%s%s: %s (%.3fs", strings.Repeat("  ", depth), n.Name, n.Status,
+			n.Duration.Seconds())
+		if n.Attempts > 1 {
+			fmt.Fprintf(&b, ", %d attempts", n.Attempts)
+		}
+		if n.Err != nil {
+			fmt.Fprintf(&b, ", err: %v", n.Err)
+		}
+		b.WriteString(")\n")
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(r, 0)
+	return b.String()
+}
+
+// Action is a unit of orchestrated work.
+type Action interface {
+	// Name labels the action in reports.
+	Name() string
+	// Execute runs the action, filling in the report (children, error).
+	Execute(ctx context.Context, rep *Report) error
+}
+
+// funcAction wraps a function as a leaf action.
+type funcAction struct {
+	name string
+	fn   func(ctx context.Context) error
+}
+
+// Func wraps a function as a leaf action.
+func Func(name string, fn func(ctx context.Context) error) Action {
+	return &funcAction{name: name, fn: fn}
+}
+
+func (a *funcAction) Name() string { return a.name }
+func (a *funcAction) Execute(ctx context.Context, _ *Report) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return a.fn(ctx)
+}
+
+// sequential runs children in order, stopping at the first failure.
+type sequential struct {
+	name    string
+	actions []Action
+}
+
+// Sequential composes actions that run one after another; a failure
+// stops the sequence and marks the remainder Skipped.
+func Sequential(name string, actions ...Action) Action {
+	return &sequential{name: name, actions: actions}
+}
+
+func (a *sequential) Name() string { return a.name }
+func (a *sequential) Execute(ctx context.Context, rep *Report) error {
+	var firstErr error
+	for _, child := range a.actions {
+		cr := newReport(child)
+		rep.Children = append(rep.Children, cr)
+		if firstErr != nil {
+			cr.Status = Skipped
+			continue
+		}
+		runInto(ctx, child, cr)
+		if cr.Status == Failed {
+			firstErr = cr.Err
+		}
+	}
+	return firstErr
+}
+
+// parallel runs children concurrently with an optional limit.
+type parallel struct {
+	name    string
+	limit   int
+	actions []Action
+}
+
+// Parallel composes actions that run concurrently (unbounded).
+func Parallel(name string, actions ...Action) Action {
+	return &parallel{name: name, actions: actions}
+}
+
+// ParallelN composes actions that run concurrently, at most limit at a
+// time (limit <= 0 means unbounded).
+func ParallelN(name string, limit int, actions ...Action) Action {
+	return &parallel{name: name, limit: limit, actions: actions}
+}
+
+func (a *parallel) Name() string { return a.name }
+func (a *parallel) Execute(ctx context.Context, rep *Report) error {
+	reports := make([]*Report, len(a.actions))
+	for i, child := range a.actions {
+		reports[i] = newReport(child)
+	}
+	rep.Children = reports
+
+	var sem chan struct{}
+	if a.limit > 0 {
+		sem = make(chan struct{}, a.limit)
+	}
+	var wg sync.WaitGroup
+	for i, child := range a.actions {
+		wg.Add(1)
+		go func(child Action, cr *Report) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			runInto(ctx, child, cr)
+		}(child, reports[i])
+	}
+	wg.Wait()
+
+	var errs []error
+	for _, cr := range reports {
+		if cr.Status == Failed {
+			errs = append(errs, fmt.Errorf("%s: %w", cr.Name, cr.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// retry re-runs an action until it succeeds or attempts are exhausted.
+type retry struct {
+	inner    Action
+	attempts int
+	backoff  time.Duration
+}
+
+// Retry wraps an action to be attempted up to attempts times, sleeping
+// backoff between attempts. attempts must be >= 1.
+func Retry(inner Action, attempts int, backoff time.Duration) Action {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &retry{inner: inner, attempts: attempts, backoff: backoff}
+}
+
+func (a *retry) Name() string { return a.inner.Name() }
+func (a *retry) Execute(ctx context.Context, rep *Report) error {
+	var err error
+	for i := 0; i < a.attempts; i++ {
+		rep.Attempts = i + 1
+		// Each attempt gets a fresh child-report area.
+		rep.Children = nil
+		err = a.inner.Execute(ctx, rep)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if i < a.attempts-1 && a.backoff > 0 {
+			select {
+			case <-time.After(a.backoff):
+			case <-ctx.Done():
+				return err
+			}
+		}
+	}
+	return err
+}
+
+// timeout bounds an action's wall-clock run time.
+type timeLimit struct {
+	inner Action
+	d     time.Duration
+}
+
+// Timeout wraps an action with a wall-clock limit.
+func Timeout(inner Action, d time.Duration) Action {
+	return &timeLimit{inner: inner, d: d}
+}
+
+func (a *timeLimit) Name() string { return a.inner.Name() }
+func (a *timeLimit) Execute(ctx context.Context, rep *Report) error {
+	tctx, cancel := context.WithTimeout(ctx, a.d)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.inner.Execute(tctx, rep) }()
+	select {
+	case err := <-done:
+		return err
+	case <-tctx.Done():
+		return fmt.Errorf("execo: %s: %w", a.inner.Name(), tctx.Err())
+	}
+}
+
+func newReport(a Action) *Report {
+	return &Report{Name: a.Name(), Status: Pending}
+}
+
+// runInto executes an action, recording timing and status in rep.
+func runInto(ctx context.Context, a Action, rep *Report) {
+	rep.Start = time.Now()
+	if rep.Attempts == 0 {
+		rep.Attempts = 1
+	}
+	err := a.Execute(ctx, rep)
+	rep.Duration = time.Since(rep.Start)
+	if err != nil {
+		rep.Status = Failed
+		rep.Err = err
+		return
+	}
+	rep.Status = OK
+}
+
+// Run executes an action tree and returns its report. The returned
+// report's Err holds the overall failure, if any.
+func Run(ctx context.Context, a Action) *Report {
+	rep := newReport(a)
+	runInto(ctx, a, rep)
+	return rep
+}

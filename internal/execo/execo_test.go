@@ -1,0 +1,229 @@
+package execo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ok(name string) Action {
+	return Func(name, func(context.Context) error { return nil })
+}
+
+func fail(name string, err error) Action {
+	return Func(name, func(context.Context) error { return err })
+}
+
+func TestFuncAction(t *testing.T) {
+	rep := Run(context.Background(), ok("leaf"))
+	if rep.Status != OK || rep.Err != nil {
+		t.Errorf("report = %+v", rep)
+	}
+	boom := errors.New("boom")
+	rep = Run(context.Background(), fail("leaf", boom))
+	if rep.Status != Failed || !errors.Is(rep.Err, boom) {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSequentialStopsAtFailure(t *testing.T) {
+	var ran []string
+	var mu sync.Mutex
+	step := func(name string, err error) Action {
+		return Func(name, func(context.Context) error {
+			mu.Lock()
+			ran = append(ran, name)
+			mu.Unlock()
+			return err
+		})
+	}
+	boom := errors.New("boom")
+	rep := Run(context.Background(),
+		Sequential("seq", step("a", nil), step("b", boom), step("c", nil)))
+	if rep.Status != Failed {
+		t.Fatalf("status = %v", rep.Status)
+	}
+	if len(ran) != 2 || ran[0] != "a" || ran[1] != "b" {
+		t.Errorf("ran = %v", ran)
+	}
+	if len(rep.Children) != 3 {
+		t.Fatalf("children = %d", len(rep.Children))
+	}
+	if rep.Children[2].Status != Skipped {
+		t.Errorf("c status = %v, want Skipped", rep.Children[2].Status)
+	}
+}
+
+func TestParallelRunsAll(t *testing.T) {
+	var count int64
+	mk := func(name string) Action {
+		return Func(name, func(context.Context) error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		})
+	}
+	rep := Run(context.Background(), Parallel("par", mk("a"), mk("b"), mk("c")))
+	if rep.Status != OK {
+		t.Fatalf("status = %v (%v)", rep.Status, rep.Err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestParallelCollectsAllErrors(t *testing.T) {
+	e1, e2 := errors.New("e1"), errors.New("e2")
+	rep := Run(context.Background(),
+		Parallel("par", fail("a", e1), ok("b"), fail("c", e2)))
+	if rep.Status != Failed {
+		t.Fatalf("status = %v", rep.Status)
+	}
+	if !errors.Is(rep.Err, e1) || !errors.Is(rep.Err, e2) {
+		t.Errorf("err = %v", rep.Err)
+	}
+	if got := len(rep.FailedLeaves()); got != 2 {
+		t.Errorf("failed leaves = %d", got)
+	}
+}
+
+func TestParallelNBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	var cur, peak int64
+	mk := func() Action {
+		return Func("w", func(context.Context) error {
+			n := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&cur, -1)
+			return nil
+		})
+	}
+	var actions []Action
+	for i := 0; i < 12; i++ {
+		actions = append(actions, mk())
+	}
+	rep := Run(context.Background(), ParallelN("bounded", limit, actions...))
+	if rep.Status != OK {
+		t.Fatalf("status = %v", rep.Status)
+	}
+	if peak > limit {
+		t.Errorf("peak concurrency = %d, limit %d", peak, limit)
+	}
+}
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	var tries int
+	a := Retry(Func("flaky", func(context.Context) error {
+		tries++
+		if tries < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}), 5, 0)
+	rep := Run(context.Background(), a)
+	if rep.Status != OK {
+		t.Fatalf("status = %v", rep.Status)
+	}
+	if tries != 3 {
+		t.Errorf("tries = %d", tries)
+	}
+	if rep.Attempts != 3 {
+		t.Errorf("reported attempts = %d", rep.Attempts)
+	}
+}
+
+func TestRetryExhausts(t *testing.T) {
+	boom := errors.New("boom")
+	var tries int
+	a := Retry(Func("hopeless", func(context.Context) error {
+		tries++
+		return boom
+	}), 3, 0)
+	rep := Run(context.Background(), a)
+	if rep.Status != Failed || !errors.Is(rep.Err, boom) {
+		t.Fatalf("report = %+v", rep)
+	}
+	if tries != 3 {
+		t.Errorf("tries = %d", tries)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	a := Timeout(Func("slow", func(ctx context.Context) error {
+		select {
+		case <-time.After(5 * time.Second):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}), 10*time.Millisecond)
+	start := time.Now()
+	rep := Run(context.Background(), a)
+	if rep.Status != Failed {
+		t.Fatalf("status = %v", rep.Status)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout did not trigger promptly")
+	}
+}
+
+func TestContextCancellationSkipsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran bool
+	rep := Run(ctx, Func("never", func(context.Context) error {
+		ran = true
+		return nil
+	}))
+	if ran {
+		t.Error("action ran under cancelled context")
+	}
+	if rep.Status != Failed {
+		t.Errorf("status = %v", rep.Status)
+	}
+}
+
+func TestNestedComposition(t *testing.T) {
+	// A campaign-shaped tree: sequential figures, each a bounded
+	// parallel of cells.
+	var cells int64
+	cell := func() Action {
+		return Func("cell", func(context.Context) error {
+			atomic.AddInt64(&cells, 1)
+			return nil
+		})
+	}
+	fig := func(name string) Action {
+		return ParallelN(name, 2, cell(), cell(), cell(), cell())
+	}
+	rep := Run(context.Background(), Sequential("campaign", fig("fig3"), fig("fig4")))
+	if rep.Status != OK {
+		t.Fatalf("status = %v (%v)", rep.Status, rep.Err)
+	}
+	if cells != 8 {
+		t.Errorf("cells = %d", cells)
+	}
+	s := rep.String()
+	for _, want := range []string{"campaign", "fig3", "fig4", "cell"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Run(context.Background(), Sequential("top", ok("a"), fail("b", errors.New("boom"))))
+	s := rep.String()
+	if !strings.Contains(s, "failed") || !strings.Contains(s, "boom") {
+		t.Errorf("report = %s", s)
+	}
+}

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/sim"
+	"pilgrim/internal/stats"
+	"pilgrim/internal/testbed"
+)
+
+var (
+	runnerOnce sync.Once
+	runnerVal  *Runner
+	runnerErr  error
+)
+
+// sharedRunner builds the full-dataset runner once for the test package.
+func sharedRunner(t *testing.T) *Runner {
+	t.Helper()
+	runnerOnce.Do(func() {
+		ref := g5k.Default()
+		plat, err := platgen.Generate(ref, platgen.Options{Variant: platgen.G5KTest})
+		if err != nil {
+			runnerErr = err
+			return
+		}
+		runnerVal, runnerErr = NewRunner(ref, testbed.DefaultConfig(),
+			pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()})
+	})
+	if runnerErr != nil {
+		t.Fatal(runnerErr)
+	}
+	return runnerVal
+}
+
+func TestFiguresMatchPaperInventory(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 9 {
+		t.Fatalf("figures = %d, want 9 (Figs. 3-11)", len(figs))
+	}
+	wantIDs := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	for i, f := range figs {
+		if f.ID != wantIDs[i] {
+			t.Errorf("figure %d id = %s", i, f.ID)
+		}
+	}
+	// Paper parameters spot checks.
+	f9, ok := FigureByID("fig9")
+	if !ok || f9.Cluster != "graphene" || f9.NSources != 50 || f9.NDests != 50 {
+		t.Errorf("fig9 = %+v", f9)
+	}
+	f10, _ := FigureByID("fig10")
+	if f10.Topology != GridMulti || f10.NSources != 10 || f10.NDests != 30 {
+		t.Errorf("fig10 = %+v", f10)
+	}
+	if _, ok := FigureByID("fig99"); ok {
+		t.Error("bogus figure found")
+	}
+}
+
+func TestPaperSizesSweep(t *testing.T) {
+	sizes := PaperSizes()
+	if len(sizes) != 10 || sizes[0] != 1e5 || math.Abs(sizes[9]-1e10) > 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestDrawTransfersCluster(t *testing.T) {
+	r := sharedRunner(t)
+	spec, _ := FigureByID("fig5") // sagittaire 30x30
+	rng := stats.NewRNG(1)
+	ts, err := r.drawTransfers(spec, 1e6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 30 {
+		t.Fatalf("transfers = %d, want 30", len(ts))
+	}
+	for _, tr := range ts {
+		if !strings.Contains(tr.Src, "sagittaire-") || !strings.Contains(tr.Dst, "sagittaire-") {
+			t.Errorf("transfer outside cluster: %s -> %s", tr.Src, tr.Dst)
+		}
+		if tr.Src == tr.Dst {
+			t.Errorf("self transfer %s", tr.Src)
+		}
+	}
+}
+
+func TestDrawTransfersAsymmetric(t *testing.T) {
+	// 10 sources, 30 destinations: 30 transfers, sources reused (§V-A).
+	r := sharedRunner(t)
+	spec := Spec{ID: "x", Topology: Cluster, Site: "nancy", Cluster: "graphene",
+		NSources: 10, NDests: 30, Seed: 1}
+	ts, err := r.drawTransfers(spec, 1e6, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 30 {
+		t.Fatalf("transfers = %d, want 30", len(ts))
+	}
+	srcs := map[string]int{}
+	for _, tr := range ts {
+		srcs[tr.Src]++
+	}
+	if len(srcs) != 10 {
+		t.Errorf("distinct sources = %d, want 10", len(srcs))
+	}
+	for s, n := range srcs {
+		if n != 3 {
+			t.Errorf("source %s carries %d transfers, want 3", s, n)
+		}
+	}
+}
+
+func TestDrawTransfersGridMulti(t *testing.T) {
+	r := sharedRunner(t)
+	spec, _ := FigureByID("fig10")
+	ts, err := r.drawTransfers(spec, 1e6, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 30 {
+		t.Fatalf("transfers = %d", len(ts))
+	}
+	for _, tr := range ts {
+		if siteOf(tr.Src) == siteOf(tr.Dst) {
+			t.Errorf("transfer does not cross sites: %s -> %s", tr.Src, tr.Dst)
+		}
+	}
+}
+
+func TestSiteOf(t *testing.T) {
+	if got := siteOf("sagittaire-1.lyon.grid5000.fr"); got != "lyon" {
+		t.Errorf("siteOf = %q", got)
+	}
+	if got := siteOf("nodots"); got != "" {
+		t.Errorf("siteOf bare = %q", got)
+	}
+}
+
+// quickSpec trims a paper spec for test runtime.
+func quickSpec(t *testing.T, id string, sizes []float64, reps int) Spec {
+	t.Helper()
+	spec, ok := FigureByID(id)
+	if !ok {
+		t.Fatalf("unknown figure %s", id)
+	}
+	spec.Sizes = sizes
+	spec.Reps = reps
+	return spec
+}
+
+// TestShapeSagittaireSmallSizesUnderPredicted checks Fig. 3's dominant
+// feature: on sagittaire, small-transfer durations are strongly
+// under-predicted (slow start and per-transfer overhead are absent from
+// the fluid model), giving clearly negative log2 errors.
+func TestShapeSagittaireSmallSizesUnderPredicted(t *testing.T) {
+	r := sharedRunner(t)
+	spec := quickSpec(t, "fig3", []float64{1e5}, 3)
+	res, err := r.RunFigure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(res.Cells[0].Errors())
+	if med > -1.5 {
+		t.Errorf("sagittaire 0.1MB median error = %.2f, want < -1.5 (paper: strongly negative)", med)
+	}
+}
+
+// TestShapeGrapheneSmallSizesOverPredicted checks Fig. 6's inversion: on
+// graphene the model's stacked hardcoded latencies exceed the fast real
+// path, so small transfers are over-predicted (positive error).
+func TestShapeGrapheneSmallSizesOverPredicted(t *testing.T) {
+	r := sharedRunner(t)
+	spec := quickSpec(t, "fig6", []float64{1e5}, 3)
+	res, err := r.RunFigure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(res.Cells[0].Errors())
+	if med < 0.5 {
+		t.Errorf("graphene 0.1MB median error = %.2f, want > 0.5 (paper: +1..+4)", med)
+	}
+}
+
+// TestShapeLargeTransfersConverge checks the headline accuracy claim: for
+// sizes > 1.67e7 on low-concurrency cluster experiments, predictions and
+// measures converge (|median error| small).
+func TestShapeLargeTransfersConverge(t *testing.T) {
+	r := sharedRunner(t)
+	for _, id := range []string{"fig3", "fig4", "fig7"} {
+		spec := quickSpec(t, id, []float64{7.74e8}, 2)
+		res, err := r.RunFigure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		med := stats.Median(res.Cells[0].Errors())
+		if math.Abs(med) > 0.35 {
+			t.Errorf("%s large-size median error = %.3f, want |e| <= 0.35", id, med)
+		}
+	}
+}
+
+// TestShapeGrapheneContentionOverPrediction checks the paper's "most
+// annoying result" (§V-B1): at 30x30 on graphene, large-size predictions
+// exceed measures by a roughly constant factor ~1.25 (log2 ~ 0.32),
+// growing to ~1.7 (log2 ~ 0.77) at 50x50 — here because the model shares
+// half-duplex aggregation uplinks that are full-duplex in reality.
+func TestShapeGrapheneContentionOverPrediction(t *testing.T) {
+	r := sharedRunner(t)
+
+	spec30 := quickSpec(t, "fig8", []float64{7.74e8}, 4)
+	res30, err := r.RunFigure(spec30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med30 := stats.Median(res30.Cells[0].Errors())
+	if med30 < 0.04 || med30 > 0.8 {
+		t.Errorf("graphene 30x30 large-size median error = %.3f, want positive bias (paper ~0.32)", med30)
+	}
+
+	spec50 := quickSpec(t, "fig9", []float64{7.74e8}, 4)
+	res50, err := r.RunFigure(spec50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med50 := stats.Median(res50.Cells[0].Errors())
+	if med50 < med30+0.15 {
+		t.Errorf("graphene 50x50 error (%.3f) should clearly exceed 30x30 (%.3f)", med50, med30)
+	}
+	if med50 < 0.4 || med50 > 1.2 {
+		t.Errorf("graphene 50x50 median error = %.3f, want ~0.77 (factor ~1.7)", med50)
+	}
+
+	// Control: sagittaire 30x30 (flat topology) does NOT show the bias.
+	specSag := quickSpec(t, "fig5", []float64{7.74e8}, 4)
+	resSag, err := r.RunFigure(specSag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medSag := stats.Median(resSag.Cells[0].Errors())
+	if math.Abs(medSag) > 0.15 {
+		t.Errorf("sagittaire 30x30 large-size median error = %.3f, want ~0", medSag)
+	}
+	if med30 <= medSag {
+		t.Errorf("graphene bias (%.3f) should exceed sagittaire (%.3f)", med30, medSag)
+	}
+}
+
+// TestShapeGridMultiRelevant checks Figs. 10-11: at grid scale the
+// forecasts remain relevant — large transfers converge.
+func TestShapeGridMultiRelevant(t *testing.T) {
+	r := sharedRunner(t)
+	spec := quickSpec(t, "fig10", []float64{7.74e8}, 2)
+	res, err := r.RunFigure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(res.Cells[0].Errors())
+	if math.Abs(med) > 0.5 {
+		t.Errorf("GRID_MULTI 10x30 large-size median error = %.3f, want |e| <= 0.5", med)
+	}
+}
+
+// TestGlobalErrorStats runs a reduced campaign and checks the global
+// statistics land in the paper's neighbourhood: median |error| 0.149,
+// sigma 0.532, 74% below 0.575 (§V-B). Bands are generous — the testbed
+// is an emulator — but the order of magnitude must hold.
+func TestGlobalErrorStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too heavy for -short")
+	}
+	r := sharedRunner(t)
+	sizes := []float64{5.99e7, 7.74e8}
+	var results []*Result
+	for _, id := range []string{"fig3", "fig4", "fig6", "fig7", "fig8", "fig10"} {
+		res, err := r.RunFigure(quickSpec(t, id, sizes, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	sum := Summarize(results)
+	if sum.N == 0 {
+		t.Fatal("no samples")
+	}
+	if sum.MedianAbsError > 0.45 {
+		t.Errorf("median |error| = %.3f, paper 0.149; want < 0.45", sum.MedianAbsError)
+	}
+	if sum.FractionBelow0575 < 0.55 {
+		t.Errorf("fraction below 0.575 = %.2f, paper 0.74; want > 0.55", sum.FractionBelow0575)
+	}
+	if sum.StdDevError > 1.2 {
+		t.Errorf("error sigma = %.3f, paper 0.532; want < 1.2", sum.StdDevError)
+	}
+}
+
+func TestResultFigureAndCSV(t *testing.T) {
+	r := sharedRunner(t)
+	spec := quickSpec(t, "fig4", []float64{1e5, 7.74e8}, 2)
+	res, err := r.RunFigure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.Figure()
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ascii := fig.RenderASCII(16)
+	if !strings.Contains(ascii, "sagittaire") || !strings.Contains(ascii, "transfer size") {
+		t.Errorf("render missing labels:\n%s", ascii)
+	}
+	var csv strings.Builder
+	if err := fig.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 { // header + 2 sizes
+		t.Errorf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+}
+
+func TestRunCellDeterminism(t *testing.T) {
+	r := sharedRunner(t)
+	spec := quickSpec(t, "fig4", nil, 1)
+	a, err := r.RunCell(spec, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunCell(spec, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+}

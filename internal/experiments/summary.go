@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math"
+
+	"pilgrim/internal/plot"
+	"pilgrim/internal/stats"
+)
+
+// LargeTransferThreshold is the size above which the paper considers the
+// fluid TCP model reliable: 1.67e7 bytes (§V-B). The global accuracy
+// statistics are computed over transfers strictly larger than this.
+const LargeTransferThreshold = 1.67e7
+
+// Summary holds the paper's global accuracy statistics (§V-B, last
+// paragraph): over all presented experiments and sizes above the
+// threshold, the median absolute error, the standard deviation of the
+// errors, and the fraction of absolute errors under 0.575.
+type Summary struct {
+	N                 int
+	MedianAbsError    float64
+	StdDevError       float64
+	FractionBelow0575 float64
+}
+
+// PaperSummary is what the paper reports for the same statistics.
+var PaperSummary = Summary{
+	MedianAbsError:    0.149,
+	StdDevError:       0.532,
+	FractionBelow0575: 0.74,
+}
+
+// Summarize computes the global statistics over all samples with
+// size > LargeTransferThreshold.
+func Summarize(results []*Result) Summary {
+	var errs []float64
+	for _, r := range results {
+		for _, c := range r.Cells {
+			if c.Size <= LargeTransferThreshold {
+				continue
+			}
+			errs = append(errs, c.Errors()...)
+		}
+	}
+	if len(errs) == 0 {
+		return Summary{}
+	}
+	abs := stats.Abs(errs)
+	return Summary{
+		N:                 len(errs),
+		MedianAbsError:    stats.Median(abs),
+		StdDevError:       stats.StdDev(errs),
+		FractionBelow0575: stats.FractionBelow(abs, 0.575),
+	}
+}
+
+// Figure converts a result into a plottable figure.
+func (r *Result) Figure() plot.Figure {
+	f := plot.Figure{Title: r.Spec.Title}
+	for _, c := range r.Cells {
+		f.Sizes = append(f.Sizes, c.Size)
+		f.Boxes = append(f.Boxes, stats.Box(c.Errors()))
+		f.Durations = append(f.Durations, c.MedianMeasured())
+	}
+	return f
+}
+
+// LargeSizeMedianError returns the median error over the result's cells
+// above the threshold — the "constant factor" diagnostic the paper
+// discusses for graphene (§V-B1: predictions ≈ 1.25x measures at 30x30,
+// ≈ 1.7x at 50x50). The returned value is in log2 units; the
+// corresponding multiplicative factor is 2^value.
+func (r *Result) LargeSizeMedianError() float64 {
+	var errs []float64
+	for _, c := range r.Cells {
+		if c.Size <= LargeTransferThreshold {
+			continue
+		}
+		errs = append(errs, c.Errors()...)
+	}
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	return stats.Median(errs)
+}
+
+// SmallSizeMedianError returns the median error over the cells at or
+// below the threshold (the slow-start-dominated regime).
+func (r *Result) SmallSizeMedianError() float64 {
+	var errs []float64
+	for _, c := range r.Cells {
+		if c.Size > LargeTransferThreshold {
+			continue
+		}
+		errs = append(errs, c.Errors()...)
+	}
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	return stats.Median(errs)
+}

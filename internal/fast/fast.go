@@ -1,0 +1,173 @@
+// Package fast implements the computation-time forecasting approach of
+// FAST (Quinson, PMEO-PDS'02), the second related-work system the paper
+// discusses (§III-C): functions are benchmarked at install time over a
+// representative set of parameters, a polynomial is fitted to the
+// measured times, and forecasts for actual parameters come from
+// evaluating the fit.
+//
+// Together with package nws (FAST relied on NWS for resource
+// availability) this completes the baseline landscape the paper positions
+// Pilgrim against: statistical extrapolation for networks (NWS),
+// benchmark-and-fit for computations (FAST), simulation for both
+// (Pilgrim + the workflow extension).
+package fast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sample is one benchmark observation: the function ran with Param and
+// took Time seconds.
+type Sample struct {
+	Param float64
+	Time  float64
+}
+
+// Poly is a polynomial, coefficients from degree 0 upward.
+type Poly []float64
+
+// Eval evaluates the polynomial at x (Horner's rule).
+func (p Poly) Eval(x float64) float64 {
+	out := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		out = out*x + p[i]
+	}
+	return out
+}
+
+// Degree returns the polynomial degree (-1 for an empty polynomial).
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// FitBasis solves the least-squares fit ys ≈ Σ c_j basis_j(xs) via the
+// normal equations with Gaussian elimination (partial pivoting). It
+// returns the coefficients in basis order.
+func FitBasis(xs, ys []float64, basis []func(float64) float64) ([]float64, error) {
+	n, m := len(xs), len(basis)
+	if n != len(ys) {
+		return nil, errors.New("fast: xs and ys length mismatch")
+	}
+	if m == 0 {
+		return nil, errors.New("fast: empty basis")
+	}
+	if n < m {
+		return nil, fmt.Errorf("fast: %d samples cannot determine %d coefficients", n, m)
+	}
+	// Normal equations: (A^T A) c = A^T y.
+	ata := make([][]float64, m)
+	aty := make([]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	for k := 0; k < n; k++ {
+		row := make([]float64, m)
+		for j, b := range basis {
+			row[j] = b(xs[k])
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			aty[i] += row[i] * ys[k]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < m; col++ {
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(ata[r][col]) > math.Abs(ata[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(ata[pivot][col]) < 1e-12 {
+			return nil, errors.New("fast: singular system (degenerate benchmark parameters)")
+		}
+		ata[col], ata[pivot] = ata[pivot], ata[col]
+		aty[col], aty[pivot] = aty[pivot], aty[col]
+		inv := 1 / ata[col][col]
+		for r := col + 1; r < m; r++ {
+			f := ata[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < m; c++ {
+				ata[r][c] -= f * ata[col][c]
+			}
+			aty[r] -= f * aty[col]
+		}
+	}
+	coef := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		s := aty[i]
+		for j := i + 1; j < m; j++ {
+			s -= ata[i][j] * coef[j]
+		}
+		coef[i] = s / ata[i][i]
+	}
+	return coef, nil
+}
+
+// PolyFit fits a polynomial of the given degree to the samples.
+func PolyFit(samples []Sample, degree int) (Poly, error) {
+	if degree < 0 {
+		return nil, errors.New("fast: negative degree")
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Param
+		ys[i] = s.Time
+	}
+	basis := make([]func(float64) float64, degree+1)
+	for j := range basis {
+		j := j
+		basis[j] = func(x float64) float64 { return math.Pow(x, float64(j)) }
+	}
+	coef, err := FitBasis(xs, ys, basis)
+	if err != nil {
+		return nil, err
+	}
+	return Poly(coef), nil
+}
+
+// Forecaster predicts computation times for one benchmarked function.
+type Forecaster struct {
+	poly Poly
+	// RMSE is the root-mean-square residual of the fit over the
+	// calibration samples, a confidence indicator.
+	RMSE float64
+}
+
+// Calibrate benchmarks fn at the given parameters (FAST's install-time
+// step) and fits a polynomial of the given degree.
+func Calibrate(fn func(param float64) float64, params []float64, degree int) (*Forecaster, error) {
+	if len(params) == 0 {
+		return nil, errors.New("fast: no calibration parameters")
+	}
+	samples := make([]Sample, len(params))
+	for i, p := range params {
+		samples[i] = Sample{Param: p, Time: fn(p)}
+	}
+	return Fit(samples, degree)
+}
+
+// Fit builds a forecaster from existing benchmark samples.
+func Fit(samples []Sample, degree int) (*Forecaster, error) {
+	poly, err := PolyFit(samples, degree)
+	if err != nil {
+		return nil, err
+	}
+	sq := 0.0
+	for _, s := range samples {
+		d := poly.Eval(s.Param) - s.Time
+		sq += d * d
+	}
+	return &Forecaster{poly: poly, RMSE: math.Sqrt(sq / float64(len(samples)))}, nil
+}
+
+// Predict forecasts the computation time for the actual parameter.
+func (f *Forecaster) Predict(param float64) float64 { return f.poly.Eval(param) }
+
+// Poly returns the fitted polynomial.
+func (f *Forecaster) Poly() Poly { return f.poly }

@@ -1,0 +1,150 @@
+package fast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pilgrim/internal/stats"
+)
+
+func TestPolyEval(t *testing.T) {
+	p := Poly{1, 2, 3} // 1 + 2x + 3x^2
+	if got := p.Eval(0); got != 1 {
+		t.Errorf("Eval(0) = %v", got)
+	}
+	if got := p.Eval(2); got != 1+4+12 {
+		t.Errorf("Eval(2) = %v", got)
+	}
+	if Poly(nil).Degree() != -1 || p.Degree() != 2 {
+		t.Error("Degree wrong")
+	}
+}
+
+func TestPolyFitExactRecovery(t *testing.T) {
+	// Samples from 2 - x + 0.5x^2 must be recovered exactly (degree 2).
+	truth := Poly{2, -1, 0.5}
+	var samples []Sample
+	for x := 1.0; x <= 8; x++ {
+		samples = append(samples, Sample{Param: x, Time: truth.Eval(x)})
+	}
+	got, err := PolyFit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(got[i]-truth[i]) > 1e-8 {
+			t.Errorf("coef %d = %v, want %v", i, got[i], truth[i])
+		}
+	}
+}
+
+func TestPolyFitNoisy(t *testing.T) {
+	// Cubic cost (matrix multiply): t = 2e-9 n^3, with 2% noise. The
+	// degree-3 fit must predict within 5% at an unseen size.
+	rng := stats.NewRNG(7)
+	var samples []Sample
+	for n := 100.0; n <= 1000; n += 100 {
+		truth := 2e-9 * n * n * n
+		samples = append(samples, Sample{Param: n, Time: truth * rng.Jitter(1, 0.02)})
+	}
+	f, err := Fit(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := f.Predict(750)
+	truth := 2e-9 * 750 * 750 * 750
+	if math.Abs(pred-truth)/truth > 0.05 {
+		t.Errorf("Predict(750) = %v, truth %v", pred, truth)
+	}
+	if f.RMSE <= 0 {
+		t.Errorf("RMSE = %v", f.RMSE)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	// "Benchmark" a function with quadratic cost.
+	calls := 0
+	bench := func(p float64) float64 {
+		calls++
+		return 3 + 0.25*p*p
+	}
+	f, err := Calibrate(bench, []float64{1, 2, 4, 8, 16, 32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Errorf("benchmark called %d times", calls)
+	}
+	if got := f.Predict(10); math.Abs(got-(3+25)) > 1e-6 {
+		t.Errorf("Predict(10) = %v, want 28", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := PolyFit([]Sample{{1, 1}}, 2); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	if _, err := PolyFit(nil, -1); err == nil {
+		t.Error("negative degree accepted")
+	}
+	// Degenerate: all benchmarks at the same parameter.
+	same := []Sample{{5, 1}, {5, 2}, {5, 3}}
+	if _, err := PolyFit(same, 1); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := Calibrate(func(float64) float64 { return 1 }, nil, 1); err == nil {
+		t.Error("empty calibration accepted")
+	}
+	if _, err := FitBasis([]float64{1}, []float64{1, 2}, []func(float64) float64{func(x float64) float64 { return 1 }}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitBasis([]float64{1}, []float64{1}, nil); err == nil {
+		t.Error("empty basis accepted")
+	}
+}
+
+func TestFitBasisNonPolynomial(t *testing.T) {
+	// y = 2 + 3*log(x), fitted with a {1, log} basis.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 3*math.Log(x)
+	}
+	coef, err := FitBasis(xs, ys, []func(float64) float64{
+		func(float64) float64 { return 1 },
+		math.Log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-2) > 1e-8 || math.Abs(coef[1]-3) > 1e-8 {
+		t.Errorf("coef = %v", coef)
+	}
+}
+
+// Property: for exactly-polynomial data, the fit reproduces the samples.
+func TestFitInterpolatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		truth := Poly{rng.Float64() * 10, rng.Float64() * 5, rng.Float64()}
+		var samples []Sample
+		for i := 0; i < 12; i++ {
+			x := 1 + float64(i)
+			samples = append(samples, Sample{Param: x, Time: truth.Eval(x)})
+		}
+		got, err := PolyFit(samples, 2)
+		if err != nil {
+			return false
+		}
+		for _, s := range samples {
+			if math.Abs(got.Eval(s.Param)-s.Time) > 1e-6*(1+math.Abs(s.Time)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

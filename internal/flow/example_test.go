@@ -1,0 +1,31 @@
+package flow_test
+
+import (
+	"fmt"
+
+	"pilgrim/internal/flow"
+)
+
+// Two TCP flows with different round-trip times share one link: the
+// RTT-aware max-min model gives each a share proportional to 1/RTT.
+func ExampleSystem_Solve() {
+	s := flow.NewSystem()
+	link := s.NewConstraint("bottleneck", 100e6) // 100 MB/s
+
+	near := s.NewVariable("near", 1/0.001, 0) // RTT 1 ms
+	far := s.NewVariable("far", 1/0.004, 0)   // RTT 4 ms
+	s.MustAttach(near, link)
+	s.MustAttach(far, link)
+
+	if err := s.Solve(); err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Printf("near: %.0f MB/s\n", near.Rate()/1e6)
+	fmt.Printf("far:  %.0f MB/s\n", far.Rate()/1e6)
+	fmt.Printf("link saturated: %v\n", link.Saturated())
+	// Output:
+	// near: 80 MB/s
+	// far:  20 MB/s
+	// link saturated: true
+}

@@ -1,0 +1,265 @@
+// Package flow implements the weighted Max-Min fairness solver at the heart
+// of the SimGrid-style fluid network model (the "LMM" — Linear Max-Min —
+// system of SimGrid's surf layer, after Casanova & Marchal, INRIA RR-4596,
+// and Velho & Legrand, SIMUTools'09).
+//
+// A System is a bipartite structure of Variables (network flows, with a
+// share weight and an optional rate bound) and Constraints (link
+// directions, with a capacity in bytes per second). Solve computes the
+// weighted max-min allocation by progressive filling: it repeatedly finds
+// the bottleneck — the constraint (or variable bound) that saturates first
+// when every unfixed variable's rate grows proportionally to its weight —
+// fixes the variables it blocks, and continues on the residual system.
+//
+// The produced allocation satisfies, for every variable v:
+//
+//   - feasibility: on each constraint, the sum of allocated rates does not
+//     exceed the capacity;
+//   - max-min optimality: v is blocked, i.e. it sits at its rate bound or
+//     crosses at least one saturated constraint, so no rate can be
+//     increased without decreasing that of a variable with an equal or
+//     smaller rate-to-weight ratio.
+//
+// RTT-awareness is achieved by the caller setting each flow's weight to
+// 1/RTT: on a shared bottleneck, flows then receive bandwidth inversely
+// proportional to their round-trip time, which is the empirically observed
+// behaviour of competing TCP streams that the SimGrid model captures.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Variable is one entity competing for capacity — in the network model,
+// one TCP flow. Its rate after Solve is Rate().
+type Variable struct {
+	id     string
+	weight float64
+	bound  float64 // +Inf when unbounded
+	value  float64
+	cnsts  []*Constraint
+	fixed  bool
+}
+
+// ID returns the identifier given at creation.
+func (v *Variable) ID() string { return v.id }
+
+// Weight returns the share weight (callers use 1/RTT).
+func (v *Variable) Weight() float64 { return v.weight }
+
+// Bound returns the rate upper bound, +Inf if none.
+func (v *Variable) Bound() float64 { return v.bound }
+
+// Rate returns the allocation computed by the last Solve.
+func (v *Variable) Rate() float64 { return v.value }
+
+// Constraints returns the constraints this variable crosses.
+func (v *Variable) Constraints() []*Constraint { return v.cnsts }
+
+// Constraint is one capacity-limited resource — in the network model, one
+// link direction (or a shared half-duplex link).
+type Constraint struct {
+	id       string
+	capacity float64
+	vars     []*Variable
+	used     float64
+}
+
+// ID returns the identifier given at creation.
+func (c *Constraint) ID() string { return c.id }
+
+// Capacity returns the total capacity in abstract rate units (B/s in the
+// network model).
+func (c *Constraint) Capacity() float64 { return c.capacity }
+
+// Usage returns the total rate allocated on this constraint by the last
+// Solve.
+func (c *Constraint) Usage() float64 { return c.used }
+
+// Variables returns the variables crossing this constraint.
+func (c *Constraint) Variables() []*Variable { return c.vars }
+
+// Saturated reports whether the last Solve used the full capacity, within
+// a relative tolerance.
+func (c *Constraint) Saturated() bool {
+	return c.used >= c.capacity*(1-1e-9)
+}
+
+// System holds variables and constraints and computes allocations.
+// The zero value is not usable; use NewSystem.
+type System struct {
+	vars   []*Variable
+	cnsts  []*Constraint
+	solved bool
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System { return &System{} }
+
+// NewConstraint adds a resource with the given capacity (must be >= 0).
+func (s *System) NewConstraint(id string, capacity float64) *Constraint {
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Errorf("flow: constraint %q has invalid capacity %v", id, capacity))
+	}
+	c := &Constraint{id: id, capacity: capacity}
+	s.cnsts = append(s.cnsts, c)
+	s.solved = false
+	return c
+}
+
+// NewVariable adds a flow with the given share weight and rate bound.
+// weight must be > 0. bound <= 0 means unbounded.
+func (s *System) NewVariable(id string, weight, bound float64) *Variable {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		panic(fmt.Errorf("flow: variable %q has invalid weight %v", id, weight))
+	}
+	if bound <= 0 || math.IsNaN(bound) {
+		bound = math.Inf(1)
+	}
+	v := &Variable{id: id, weight: weight, bound: bound}
+	s.vars = append(s.vars, v)
+	s.solved = false
+	return v
+}
+
+// Attach declares that variable v consumes capacity on constraint c.
+// Attaching the same pair twice is an error (it would double-count the
+// flow on that link).
+func (s *System) Attach(v *Variable, c *Constraint) error {
+	for _, existing := range v.cnsts {
+		if existing == c {
+			return fmt.Errorf("flow: variable %q already attached to constraint %q", v.id, c.id)
+		}
+	}
+	v.cnsts = append(v.cnsts, c)
+	c.vars = append(c.vars, v)
+	s.solved = false
+	return nil
+}
+
+// MustAttach is Attach but panics on error; convenient for builders that
+// guarantee uniqueness.
+func (s *System) MustAttach(v *Variable, c *Constraint) {
+	if err := s.Attach(v, c); err != nil {
+		panic(err)
+	}
+}
+
+// Variables returns all variables in the system.
+func (s *System) Variables() []*Variable { return s.vars }
+
+// Constraints returns all constraints in the system.
+func (s *System) Constraints() []*Constraint { return s.cnsts }
+
+// ErrUnboundedVariable is returned by Solve when a variable crosses no
+// constraint and has no rate bound: its max-min rate would be infinite.
+var ErrUnboundedVariable = errors.New("flow: variable with no constraint and no bound")
+
+// Solve computes the weighted max-min allocation. It may be called again
+// after adding variables or constraints; allocations are recomputed from
+// scratch (the systems built by the simulator are small enough that
+// incremental solving is unnecessary).
+func (s *System) Solve() error {
+	// Reset state from any previous solve.
+	for _, v := range s.vars {
+		v.fixed = false
+		v.value = 0
+	}
+	for _, c := range s.cnsts {
+		c.used = 0
+	}
+
+	remaining := make(map[*Constraint]float64, len(s.cnsts))
+	unfixedCount := make(map[*Constraint]int, len(s.cnsts))
+	for _, c := range s.cnsts {
+		remaining[c] = c.capacity
+		unfixedCount[c] = len(c.vars)
+	}
+
+	unfixed := 0
+	for _, v := range s.vars {
+		if len(v.cnsts) == 0 && math.IsInf(v.bound, 1) {
+			return fmt.Errorf("%w: %q", ErrUnboundedVariable, v.id)
+		}
+		unfixed++
+	}
+
+	for unfixed > 0 {
+		// Find the minimal fill level λ* at which something saturates.
+		// For constraint c: λ_c = remaining_c / Σ weights of unfixed vars.
+		// For a bounded variable v: λ_v = bound_v / weight_v.
+		// Weight sums are recomputed fresh each round: maintaining them
+		// incrementally accumulates floating-point residue that can make
+		// an exhausted constraint look populated and stall the loop.
+		lambda := math.Inf(1)
+		var satCnst *Constraint
+		var satVar *Variable
+		for _, c := range s.cnsts {
+			if unfixedCount[c] == 0 {
+				continue // no unfixed variable crosses c
+			}
+			w := 0.0
+			for _, v := range c.vars {
+				if !v.fixed {
+					w += v.weight
+				}
+			}
+			l := remaining[c] / w
+			if l < lambda {
+				lambda, satCnst, satVar = l, c, nil
+			}
+		}
+		for _, v := range s.vars {
+			if v.fixed || math.IsInf(v.bound, 1) {
+				continue
+			}
+			l := v.bound / v.weight
+			if l < lambda {
+				lambda, satCnst, satVar = l, nil, v
+			}
+		}
+
+		if satCnst == nil && satVar == nil {
+			// No constraint limits the remaining variables: they are all
+			// unbounded through constraints with zero unfixed weight.
+			// This cannot happen because every unfixed variable either has
+			// a bound (covered above) or crosses a constraint whose
+			// unfixedWeight includes its own positive weight.
+			return errors.New("flow: internal error: no saturating resource found")
+		}
+
+		fix := func(v *Variable, rate float64) {
+			v.fixed = true
+			v.value = rate
+			unfixed--
+			for _, c := range v.cnsts {
+				remaining[c] -= rate
+				if remaining[c] < 0 {
+					remaining[c] = 0
+				}
+				unfixedCount[c]--
+				c.used += rate
+			}
+		}
+
+		if satVar != nil {
+			fix(satVar, satVar.bound)
+			continue
+		}
+		// Fix every unfixed variable crossing the saturated constraint at
+		// weight-proportional share of λ*.
+		for _, v := range satCnst.vars {
+			if !v.fixed {
+				fix(v, v.weight*lambda)
+			}
+		}
+	}
+	s.solved = true
+	return nil
+}
+
+// Solved reports whether the system has been solved since its last
+// structural modification.
+func (s *System) Solved() bool { return s.solved }

@@ -1,0 +1,184 @@
+package g5k
+
+import "fmt"
+
+// This file embeds the topology dataset of the three sites whose network
+// description was available to the paper (§V-A: Lille, Lyon, Nancy),
+// following the published shapes:
+//
+//   - Fig. 2 left: sagittaire — 79 nodes, 1 Gb/s each, plugged directly
+//     into the Lyon BlackDiamond 8810 router (flat topology);
+//   - Fig. 2 right: graphene — 144 nodes in four groups (1-39, 40-74,
+//     75-104, 105-144) behind aggregation switches sgraphene1..4, each
+//     uplinked at 10 Gb/s to the Nancy router (hierarchical topology);
+//   - other clusters of the three sites "are similar" (§V-B2) — we give
+//     Lyon a second flat cluster (capricorne, the one used in the paper's
+//     worked example), Nancy a second aggregated cluster (griffon, also
+//     named in the worked example), and Lille three flat plus one
+//     aggregated cluster;
+//   - Fig. 1: sites joined by the 10 Gb/s RENATER backbone; we model the
+//     national star through a Paris hub.
+//
+// Backplane and linecard figures are nominal vendor-class numbers; the
+// paper's generator did not use them (§V-A) but Pilgrim's
+// equipment-limits extension (platgen.Options.EquipmentLimits) does.
+
+// Gbps converts gigabits per second to bits per second.
+func Gbps(g float64) float64 { return g * 1e9 }
+
+// Default returns the reference description of the Lille+Lyon+Nancy
+// fraction of Grid'5000 used throughout the paper's evaluation.
+func Default() *Reference {
+	r := &Reference{
+		Sites: make(map[string]*Site),
+		Hubs:  []string{"renater-paris"},
+	}
+
+	lyon := newSite("lyon", "gw-lyon")
+	addRouter(lyon, "gw-lyon", 1440e9, []Linecard{{RateBps: Gbps(48), Ports: 48}, {RateBps: Gbps(48), Ports: 48}, {RateBps: Gbps(48), Ports: 48}})
+	addFlatCluster(lyon, "sagittaire", "Opteron 250 2.4 GHz", 4.8, "opteron2004", 79, "gw-lyon")
+	addFlatCluster(lyon, "capricorne", "Opteron 246 2.0 GHz", 4.0, "opteron2004", 56, "gw-lyon")
+	r.Sites["lyon"] = lyon
+
+	nancy := newSite("nancy", "gw-nancy")
+	addRouter(nancy, "gw-nancy", 1920e9, []Linecard{{RateBps: Gbps(80), Ports: 8}})
+	addGroupedCluster(nancy, "graphene", "Xeon X3440 2.53 GHz", 10.1, "xeon2010",
+		[]group{{"sgraphene1", 1, 39}, {"sgraphene2", 40, 74}, {"sgraphene3", 75, 104}, {"sgraphene4", 105, 144}},
+		"gw-nancy", Gbps(10))
+	addGroupedCluster(nancy, "griffon", "Xeon L5420 2.5 GHz", 8.0, "xeon2009",
+		[]group{{"sgriffon1", 1, 29}, {"sgriffon2", 30, 58}, {"sgriffon3", 59, 92}},
+		"gw-nancy", Gbps(10))
+	r.Sites["nancy"] = nancy
+
+	lille := newSite("lille", "gw-lille")
+	addRouter(lille, "gw-lille", 960e9, []Linecard{{RateBps: Gbps(48), Ports: 48}, {RateBps: Gbps(48), Ports: 48}})
+	addFlatCluster(lille, "chicon", "Opteron 285 2.6 GHz", 5.2, "opteron2006", 26, "gw-lille")
+	addFlatCluster(lille, "chti", "Opteron 252 2.6 GHz", 5.2, "opteron2006", 20, "gw-lille")
+	addFlatCluster(lille, "chuque", "Opteron 248 2.2 GHz", 4.4, "opteron2004", 53, "gw-lille")
+	addGroupedCluster(lille, "chinqchint", "Xeon E5440 2.83 GHz", 9.0, "xeon2009",
+		[]group{{"schinqchint1", 1, 23}, {"schinqchint2", 24, 46}},
+		"gw-lille", Gbps(10))
+	r.Sites["lille"] = lille
+
+	// RENATER backbone: a 10 Gb/s star through Paris. Latencies are the
+	// "measured" one-way values the metrology service would provide; the
+	// paper-faithful generator ignores them and hardcodes 2.25e-3 s.
+	r.Backbone = []*BackboneLink{
+		{ID: "renater-lyon-paris", From: "gw-lyon", To: "renater-paris", RateBps: Gbps(10), LatencyS: 2.4e-3},
+		{ID: "renater-nancy-paris", From: "gw-nancy", To: "renater-paris", RateBps: Gbps(10), LatencyS: 1.7e-3},
+		{ID: "renater-lille-paris", From: "gw-lille", To: "renater-paris", RateBps: Gbps(10), LatencyS: 1.2e-3},
+	}
+	return r
+}
+
+// Mini returns a compact two-site reference (a flat and a grouped
+// cluster) used by fast tests.
+func Mini() *Reference {
+	r := &Reference{
+		Sites: make(map[string]*Site),
+		Hubs:  []string{"renater-paris"},
+	}
+	lyon := newSite("lyon", "gw-lyon")
+	addRouter(lyon, "gw-lyon", 1440e9, nil)
+	addFlatCluster(lyon, "sagittaire", "Opteron 250", 4.8, "opteron2004", 6, "gw-lyon")
+	r.Sites["lyon"] = lyon
+	nancy := newSite("nancy", "gw-nancy")
+	addRouter(nancy, "gw-nancy", 1920e9, nil)
+	addGroupedCluster(nancy, "graphene", "Xeon X3440", 10.1, "xeon2010",
+		[]group{{"sgraphene1", 1, 4}, {"sgraphene2", 5, 8}}, "gw-nancy", Gbps(10))
+	r.Sites["nancy"] = nancy
+	r.Backbone = []*BackboneLink{
+		{ID: "renater-lyon-paris", From: "gw-lyon", To: "renater-paris", RateBps: Gbps(10), LatencyS: 2.4e-3},
+		{ID: "renater-nancy-paris", From: "gw-nancy", To: "renater-paris", RateBps: Gbps(10), LatencyS: 1.7e-3},
+	}
+	return r
+}
+
+// FQDN returns the fully qualified node name used by Pilgrim requests,
+// e.g. FQDN("sagittaire-1", "lyon") = "sagittaire-1.lyon.grid5000.fr".
+func FQDN(node, site string) string {
+	return node + "." + site + ".grid5000.fr"
+}
+
+func newSite(uid, gateway string) *Site {
+	return &Site{
+		UID:       uid,
+		Gateway:   gateway,
+		Clusters:  make(map[string]*Cluster),
+		Equipment: make(map[string]*Equipment),
+	}
+}
+
+func addRouter(s *Site, uid string, backplaneBps float64, linecards []Linecard) {
+	s.Equipment[uid] = &Equipment{
+		UID:          uid,
+		Kind:         "router",
+		BackplaneBps: backplaneBps,
+		Linecards:    linecards,
+	}
+}
+
+// addFlatCluster plugs n gigabit nodes directly into the given equipment.
+func addFlatCluster(s *Site, uid, model string, gflops float64, class string, n int, sw string) {
+	c := &Cluster{
+		UID:       uid,
+		Model:     model,
+		GFlops:    gflops,
+		NodeClass: class,
+		Nodes:     make(map[string]*Node, n),
+	}
+	for i := 1; i <= n; i++ {
+		nid := fmt.Sprintf("%s-%d", uid, i)
+		c.Nodes[nid] = &Node{
+			UID: nid,
+			Interfaces: []Interface{{
+				Device:  "eth0",
+				RateBps: Gbps(1),
+				Switch:  sw,
+				Port:    fmt.Sprintf("ge-%s-%d", uid, i),
+			}},
+		}
+	}
+	s.Clusters[uid] = c
+}
+
+// group describes one aggregation-switch group of a hierarchical cluster:
+// nodes numbered From..To plug into switch SW.
+type group struct {
+	SW       string
+	From, To int
+}
+
+// addGroupedCluster creates a hierarchical cluster: each group's nodes
+// plug into an aggregation switch, itself uplinked to the site router.
+func addGroupedCluster(s *Site, uid, model string, gflops float64, class string, groups []group, router string, uplinkBps float64) {
+	c := &Cluster{
+		UID:       uid,
+		Model:     model,
+		GFlops:    gflops,
+		NodeClass: class,
+		Nodes:     make(map[string]*Node),
+	}
+	for _, g := range groups {
+		s.Equipment[g.SW] = &Equipment{
+			UID:          g.SW,
+			Kind:         "switch",
+			BackplaneBps: 176e9,
+			Linecards:    []Linecard{{RateBps: Gbps(48), Ports: 48}},
+			Uplinks:      []Uplink{{To: router, RateBps: uplinkBps}},
+		}
+		for i := g.From; i <= g.To; i++ {
+			nid := fmt.Sprintf("%s-%d", uid, i)
+			c.Nodes[nid] = &Node{
+				UID: nid,
+				Interfaces: []Interface{{
+					Device:  "eth0",
+					RateBps: Gbps(1),
+					Switch:  g.SW,
+					Port:    fmt.Sprintf("ge-%s-%d", uid, i),
+				}},
+			}
+		}
+	}
+	s.Clusters[uid] = c
+}

@@ -1,0 +1,63 @@
+package g5k
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNaturalLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"node-2", "node-10", true},
+		{"node-10", "node-2", false},
+		{"node-1", "node-1", false},
+		{"a-5", "b-1", true},       // different prefixes: lexicographic
+		{"plain", "plainer", true}, // no trailing ints
+		{"x9", "x10", true},
+	}
+	for _, c := range cases {
+		if got := naturalLess(c.a, c.b); got != c.want {
+			t.Errorf("naturalLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSplitTrailingInt(t *testing.T) {
+	if p, n, ok := splitTrailingInt("graphene-144"); !ok || p != "graphene-" || n != 144 {
+		t.Errorf("got %q %d %v", p, n, ok)
+	}
+	if _, _, ok := splitTrailingInt("nonumber"); ok {
+		t.Error("ok for no trailing int")
+	}
+	if p, n, ok := splitTrailingInt("42"); !ok || p != "" || n != 42 {
+		t.Errorf("bare number: %q %d %v", p, n, ok)
+	}
+}
+
+func TestServerContentType(t *testing.T) {
+	srv := httptest.NewServer(NewServer(Mini()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestGbps(t *testing.T) {
+	if Gbps(10) != 10e9 {
+		t.Errorf("Gbps(10) = %v", Gbps(10))
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	if got := Default().NumNodes(); got != 79+56+144+92+26+20+53+46 {
+		t.Errorf("NumNodes = %d", got)
+	}
+}

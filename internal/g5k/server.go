@@ -1,0 +1,121 @@
+package g5k
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Server exposes a Reference over a JSON REST API shaped like the
+// Grid'5000 Reference API. Pilgrim's platform generator can consume either
+// the in-process Reference or this HTTP form (the paper's deployment).
+type Server struct {
+	ref *Reference
+	mux *http.ServeMux
+}
+
+// NewServer creates a server for the given reference.
+func NewServer(ref *Reference) *Server {
+	s := &Server{ref: ref, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /reference", s.handleReference)
+	s.mux.HandleFunc("GET /sites", s.handleSites)
+	s.mux.HandleFunc("GET /sites/{site}", s.handleSite)
+	s.mux.HandleFunc("GET /sites/{site}/clusters", s.handleClusters)
+	s.mux.HandleFunc("GET /sites/{site}/clusters/{cluster}", s.handleCluster)
+	s.mux.HandleFunc("GET /sites/{site}/clusters/{cluster}/nodes", s.handleNodes)
+	s.mux.HandleFunc("GET /backbone", s.handleBackbone)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing more to do than log-level
+		// reporting, which the library leaves to the caller's middleware.
+		return
+	}
+}
+
+func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ref)
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ref.SiteIDs())
+}
+
+func (s *Server) site(w http.ResponseWriter, r *http.Request) (*Site, bool) {
+	id := r.PathValue("site")
+	site, ok := s.ref.Sites[id]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown site %q", id), http.StatusNotFound)
+		return nil, false
+	}
+	return site, true
+}
+
+func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
+	if site, ok := s.site(w, r); ok {
+		writeJSON(w, site)
+	}
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if site, ok := s.site(w, r); ok {
+		writeJSON(w, site.ClusterIDs())
+	}
+}
+
+func (s *Server) cluster(w http.ResponseWriter, r *http.Request) (*Cluster, bool) {
+	site, ok := s.site(w, r)
+	if !ok {
+		return nil, false
+	}
+	id := r.PathValue("cluster")
+	c, ok := site.Clusters[id]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown cluster %q", id), http.StatusNotFound)
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.cluster(w, r); ok {
+		writeJSON(w, c)
+	}
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.cluster(w, r); ok {
+		writeJSON(w, c.NodeIDs())
+	}
+}
+
+func (s *Server) handleBackbone(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ref.Backbone)
+}
+
+// Fetch retrieves the full reference from a server rooted at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func Fetch(client *http.Client, baseURL string) (*Reference, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/reference")
+	if err != nil {
+		return nil, fmt.Errorf("g5k: fetching reference: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("g5k: fetching reference: HTTP %d", resp.StatusCode)
+	}
+	return ReadJSON(resp.Body)
+}

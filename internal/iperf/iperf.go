@@ -1,0 +1,161 @@
+// Package iperf implements the measurement workload tool of the paper's
+// experimental protocol (§V-A): TCP servers (receivers) that discard
+// incoming bytes and clients (senders) that stream a fixed payload and
+// measure the completion time.
+//
+// The evaluation campaign drives emulated transfers through
+// internal/testbed; this package provides the *real* counterpart over
+// net.TCP, usable on loopback or a LAN to sanity-check the library
+// against actual kernels. RunBatch mirrors the paper's protocol: all
+// servers started first, all clients fired simultaneously, completion
+// times recorded per transfer.
+package iperf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of one transfer, as measured by the client.
+type Result struct {
+	Bytes    int64
+	Duration time.Duration
+	// Rate is the payload rate in bytes per second.
+	Rate float64
+}
+
+// Server is a receiver: it accepts connections and discards their bytes.
+type Server struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	// Received totals all bytes drained across connections.
+	received int64
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("iperf: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			n, _ := io.Copy(io.Discard, conn)
+			s.mu.Lock()
+			s.received += n
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Received returns the total bytes drained so far.
+func (s *Server) Received() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// chunkSize is the client write granularity.
+const chunkSize = 128 * 1024
+
+// Send streams size bytes to addr and measures the wall-clock completion
+// time (connection setup through final close, like iperf's report).
+func Send(addr string, size int64) (Result, error) {
+	if size <= 0 {
+		return Result{}, errors.New("iperf: size must be positive")
+	}
+	start := time.Now()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return Result{}, fmt.Errorf("iperf: dial %s: %w", addr, err)
+	}
+	buf := make([]byte, chunkSize)
+	remaining := size
+	for remaining > 0 {
+		n := int64(len(buf))
+		if remaining < n {
+			n = remaining
+		}
+		wrote, err := conn.Write(buf[:n])
+		remaining -= int64(wrote)
+		if err != nil {
+			conn.Close()
+			return Result{}, fmt.Errorf("iperf: send to %s: %w", addr, err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		return Result{}, fmt.Errorf("iperf: close: %w", err)
+	}
+	d := time.Since(start)
+	return Result{
+		Bytes:    size,
+		Duration: d,
+		Rate:     float64(size) / d.Seconds(),
+	}, nil
+}
+
+// Transfer is one batch entry: size bytes to the given server address.
+type Transfer struct {
+	Addr string
+	Size int64
+}
+
+// RunBatch fires all transfers simultaneously (after a common barrier,
+// like the paper's simultaneous client start) and returns the results in
+// input order. The first error is returned, but all transfers are
+// attempted.
+func RunBatch(transfers []Transfer) ([]Result, error) {
+	results := make([]Result, len(transfers))
+	errs := make([]error, len(transfers))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, tr := range transfers {
+		wg.Add(1)
+		go func(i int, tr Transfer) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = Send(tr.Addr, tr.Size)
+		}(i, tr)
+	}
+	close(start)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

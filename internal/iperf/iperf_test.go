@@ -1,0 +1,134 @@
+package iperf
+
+import (
+	"testing"
+)
+
+func TestSingleTransfer(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const size = 4 << 20
+	res, err := Send(srv.Addr(), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != size {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	if res.Duration <= 0 || res.Rate <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	// Server must have drained everything once closed.
+	srv.Close()
+	if got := srv.Received(); got != size {
+		t.Errorf("server received %d, want %d", got, size)
+	}
+}
+
+func TestBatchSimultaneous(t *testing.T) {
+	srv1, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+	srv2, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	const size = 1 << 20
+	results, err := RunBatch([]Transfer{
+		{Addr: srv1.Addr(), Size: size},
+		{Addr: srv2.Addr(), Size: size},
+		{Addr: srv1.Addr(), Size: size / 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Bytes == 0 || r.Duration <= 0 {
+			t.Errorf("result %d = %+v", i, r)
+		}
+	}
+	srv1.Close()
+	srv2.Close()
+	if got := srv1.Received(); got != size+size/2 {
+		t.Errorf("srv1 received %d", got)
+	}
+	if got := srv2.Received(); got != size {
+		t.Errorf("srv2 received %d", got)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	if _, err := Send("127.0.0.1:1", 100); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := Send(srv.Addr(), 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := Send(srv.Addr(), -5); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestBatchReportsErrors(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	results, err := RunBatch([]Transfer{
+		{Addr: srv.Addr(), Size: 1024},
+		{Addr: "127.0.0.1:1", Size: 1024}, // refused
+	})
+	if err == nil {
+		t.Fatal("batch error not reported")
+	}
+	if results[0].Bytes != 1024 {
+		t.Errorf("good transfer result lost: %+v", results[0])
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestLoopbackRateSane(t *testing.T) {
+	// Loopback transfers should move at least tens of MB/s even on slow
+	// CI machines; this catches accidental byte-at-a-time writes.
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := Send(srv.Addr(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate < 10e6 {
+		t.Errorf("loopback rate = %.3g B/s, implausibly slow (took %v)", res.Rate, res.Duration)
+	}
+}

@@ -1,0 +1,33 @@
+package nws_test
+
+import (
+	"fmt"
+
+	"pilgrim/internal/nws"
+)
+
+// The NWS selector watches every predictor's cumulative error and
+// forecasts with the best one so far.
+func ExampleSelector() {
+	s := nws.NewSelector()
+	for i := 0; i < 40; i++ {
+		s.Update(100) // a perfectly stable bandwidth series
+	}
+	v, ok := s.Predict()
+	fmt.Printf("forecast: %.0f (ok=%v)\n", v, ok)
+	// Output:
+	// forecast: 100 (ok=true)
+}
+
+// A path forecaster combines bandwidth and latency series into transfer
+// completion times — per path, blind to batch contention.
+func ExamplePathForecaster() {
+	pf := nws.NewPathForecaster()
+	for i := 0; i < 20; i++ {
+		pf.Observe(117e6, 3e-4) // probes: 117 MB/s, 0.3 ms
+	}
+	d, _ := pf.PredictTransfer(1.17e9)
+	fmt.Printf("1.17 GB forecast: %.1f s\n", d)
+	// Output:
+	// 1.17 GB forecast: 10.0 s
+}

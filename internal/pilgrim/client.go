@@ -1,0 +1,151 @@
+package pilgrim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"pilgrim/internal/workflow"
+)
+
+// Client is a typed HTTP client for a remote Pilgrim instance; it is what
+// a resource management system embeds to take scheduling decisions
+// (paper §I).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) getJSON(path string, query url.Values, out interface{}) error {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return fmt.Errorf("pilgrim: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("pilgrim: GET %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("pilgrim: GET %s: decoding answer: %w", path, err)
+	}
+	return nil
+}
+
+// Platforms lists the platforms the server can predict on.
+func (c *Client) Platforms() ([]string, error) {
+	var out []string
+	if err := c.getJSON("/pilgrim/platforms", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictTransfers asks PNFS for the completion times of the given
+// concurrent transfers on the named platform.
+func (c *Client) PredictTransfers(platform string, transfers []TransferRequest) ([]Prediction, error) {
+	q := url.Values{}
+	for _, t := range transfers {
+		q.Add("transfer", fmt.Sprintf("%s,%s,%s", t.Src, t.Dst,
+			strconv.FormatFloat(t.Size, 'g', -1, 64)))
+	}
+	var out []Prediction
+	if err := c.getJSON("/pilgrim/predict_transfers/"+url.PathEscape(platform), q, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SelectFastest asks the server to simulate each hypothesis and pick the
+// one with the smallest makespan.
+func (c *Client) SelectFastest(platform string, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	q := url.Values{}
+	for _, h := range hyps {
+		parts := make([]string, len(h.Transfers))
+		for i, t := range h.Transfers {
+			parts[i] = fmt.Sprintf("%s,%s,%s", t.Src, t.Dst,
+				strconv.FormatFloat(t.Size, 'g', -1, 64))
+		}
+		q.Add("hypothesis", strings.Join(parts, ";"))
+	}
+	var out struct {
+		Best    int                `json:"best"`
+		Results []HypothesisResult `json:"results"`
+	}
+	if err := c.getJSON("/pilgrim/select_fastest/"+url.PathEscape(platform), q, &out); err != nil {
+		return 0, nil, err
+	}
+	return out.Best, out.Results, nil
+}
+
+// PredictWorkflow posts a workflow DAG for simulation and returns the
+// forecast schedule (future-work extension §VI).
+func (c *Client) PredictWorkflow(platform string, wf *workflow.Workflow) (*workflow.Forecast, error) {
+	body, err := json.Marshal(wf)
+	if err != nil {
+		return nil, fmt.Errorf("pilgrim: encoding workflow: %w", err)
+	}
+	u := c.BaseURL + "/pilgrim/predict_workflow/" + url.PathEscape(platform)
+	resp, err := c.httpClient().Post(u, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("pilgrim: POST predict_workflow: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("pilgrim: POST predict_workflow: HTTP %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var out workflow.Forecast
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pilgrim: decoding forecast: %w", err)
+	}
+	return &out, nil
+}
+
+// RRDPoint is one [timestamp, value] sample from the metrology service.
+type RRDPoint struct {
+	Timestamp int64
+	Value     float64
+}
+
+// FetchMetric queries the metrology service for all samples of a metric
+// between begin and end (Unix seconds).
+func (c *Client) FetchMetric(tool, site, host, metric string, begin, end int64) ([]RRDPoint, error) {
+	q := url.Values{}
+	q.Set("begin", strconv.FormatInt(begin, 10))
+	q.Set("end", strconv.FormatInt(end, 10))
+	path := fmt.Sprintf("/pilgrim/rrd/%s/%s/%s/%s.rrd/",
+		url.PathEscape(tool), url.PathEscape(site), url.PathEscape(host), url.PathEscape(metric))
+	var raw [][2]float64
+	if err := c.getJSON(path, q, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]RRDPoint, len(raw))
+	for i, p := range raw {
+		out[i] = RRDPoint{Timestamp: int64(p[0]), Value: p[1]}
+	}
+	return out, nil
+}

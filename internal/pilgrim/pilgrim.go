@@ -1,0 +1,171 @@
+// Package pilgrim implements the Pilgrim metrology and performance
+// prediction framework — the paper's primary contribution (§IV-C).
+//
+// Pilgrim's services are REST-style web services: transport is HTTP,
+// requests are HTTP GETs with parameters embedded in the URI, answers are
+// JSON documents. Two services are offered:
+//
+//   - the metrology service (§IV-C1), a remote API over RRD file trees:
+//     GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}.rrd/?begin=B&end=E
+//     answers [[timestamp, value], ...] with the most accurate data
+//     available between the bounds, gathered across round-robin archives;
+//
+//   - the Pilgrim Network Forecast Service, PNFS (§IV-C2):
+//     GET /pilgrim/predict_transfers/{platform}?transfer=src,dst,size&...
+//     instantiates a flow-level simulation of the named platform
+//     containing all requested transfers concurrently, and answers
+//     [{"src":..., "dst":..., "size":..., "duration":...}, ...].
+//
+// Two extensions implement the paper's stated future work (§VI):
+//
+//   - GET /pilgrim/select_fastest/{platform}?hypothesis=... simulates n
+//     alternative transfer hypotheses and returns the fastest;
+//   - the predict_transfers "bg=src,dst" parameter injects known
+//     background traffic into the simulation.
+package pilgrim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pilgrim/internal/platform"
+	"pilgrim/internal/sim"
+)
+
+// PlatformEntry couples a simulated platform with the model configuration
+// used to simulate it.
+type PlatformEntry struct {
+	Platform *platform.Platform
+	Config   sim.Config
+}
+
+// Registry holds the named platforms a Pilgrim instance can predict on
+// (the paper's g5k_test and g5k_cabinets).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]PlatformEntry
+}
+
+// NewRegistry returns an empty platform registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]PlatformEntry)}
+}
+
+// Add registers a platform under a name.
+func (r *Registry) Add(name string, entry PlatformEntry) error {
+	if name == "" || entry.Platform == nil {
+		return fmt.Errorf("pilgrim: invalid platform registration %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("pilgrim: platform %q already registered", name)
+	}
+	r.entries[name] = entry
+	return nil
+}
+
+// Get returns the platform registered under name.
+func (r *Registry) Get(name string) (PlatformEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Names returns the sorted registered platform names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TransferRequest is one requested transfer: (source, destination, size),
+// the 3-uple of §IV-C2.
+type TransferRequest struct {
+	Src  string  `json:"src"`
+	Dst  string  `json:"dst"`
+	Size float64 `json:"size"`
+}
+
+// Prediction is the answered 4-uple: the transfer plus its predicted TCP
+// completion time in seconds.
+type Prediction struct {
+	Src      string  `json:"src"`
+	Dst      string  `json:"dst"`
+	Size     float64 `json:"size"`
+	Duration float64 `json:"duration"`
+}
+
+// PredictTransfers answers a PNFS request directly (the in-process path;
+// the HTTP server wraps this). Background flows, if any, contend with the
+// requested transfers for the whole simulation.
+func PredictTransfers(entry PlatformEntry, transfers []TransferRequest, background [][2]string) ([]Prediction, error) {
+	if len(transfers) == 0 {
+		return nil, fmt.Errorf("pilgrim: no transfers requested")
+	}
+	s := sim.NewSimulation(entry.Platform, entry.Config)
+	for _, bg := range background {
+		s.AddBackgroundFlow(bg[0], bg[1])
+	}
+	for _, t := range transfers {
+		s.AddTransfer(t.Src, t.Dst, t.Size)
+	}
+	results, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(results))
+	for i, r := range results {
+		out[i] = Prediction{Src: r.Src, Dst: r.Dst, Size: r.Size, Duration: r.Duration}
+	}
+	return out, nil
+}
+
+// Hypothesis is one alternative considered by SelectFastest: a set of
+// transfers that would be executed together.
+type Hypothesis struct {
+	Transfers []TransferRequest `json:"transfers"`
+}
+
+// HypothesisResult reports the simulated makespan of one hypothesis.
+type HypothesisResult struct {
+	Index       int          `json:"index"`
+	Makespan    float64      `json:"makespan"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// SelectFastest simulates each hypothesis independently and returns all
+// results plus the index of the hypothesis with the smallest makespan
+// (paper §VI: "given n different transfer hypotheses, select the fastest
+// one").
+func SelectFastest(entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	if len(hyps) == 0 {
+		return 0, nil, fmt.Errorf("pilgrim: no hypotheses")
+	}
+	results = make([]HypothesisResult, len(hyps))
+	best = -1
+	for i, h := range hyps {
+		preds, err := PredictTransfers(entry, h.Transfers, nil)
+		if err != nil {
+			return 0, nil, fmt.Errorf("pilgrim: hypothesis %d: %w", i, err)
+		}
+		makespan := 0.0
+		for _, p := range preds {
+			if p.Duration > makespan {
+				makespan = p.Duration
+			}
+		}
+		results[i] = HypothesisResult{Index: i, Makespan: makespan, Predictions: preds}
+		if best == -1 || makespan < results[best].Makespan {
+			best = i
+		}
+	}
+	return best, results, nil
+}

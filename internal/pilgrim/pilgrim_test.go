@@ -1,0 +1,316 @@
+package pilgrim
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/metrology"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/rrd"
+	"pilgrim/internal/sim"
+)
+
+// newTestServer builds a Pilgrim server with the Mini platform (as
+// g5k_test) and one power metric, like the paper's deployment.
+func newTestServer(t testing.TB) (*httptest.Server, *Client) {
+	t.Helper()
+	plat, err := platgen.Generate(g5k.Mini(), platgen.Options{Variant: platgen.G5KTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Add("g5k_test", PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := metrology.NewRegistry()
+	mp := metrology.MetricPath{Tool: "ganglia", Site: "lyon", Host: "sagittaire-1.lyon.grid5000.fr", Metric: "pdu"}
+	if err := metrics.Register(mp, rrd.Gauge, 15, metrology.PowerSource(168.8, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Collect(0, 9*3600); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewServer(reg, metrics))
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL)
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	plat, err := platgen.Generate(g5k.Mini(), platgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}
+	if err := reg.Add("p", entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("p", entry); err == nil {
+		t.Error("duplicate platform accepted")
+	}
+	if err := reg.Add("", entry); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := reg.Add("nilp", PlatformEntry{}); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, ok := reg.Get("p"); !ok {
+		t.Error("Get failed")
+	}
+	if _, ok := reg.Get("ghost"); ok {
+		t.Error("ghost platform found")
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "p" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestPredictTransfersInProcess(t *testing.T) {
+	plat, err := platgen.Generate(g5k.Mini(), platgen.Options{Variant: platgen.G5KTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}
+	preds, err := PredictTransfers(entry, []TransferRequest{
+		{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "graphene-1.nancy.grid5000.fr", Size: 5e8},
+		{Src: "sagittaire-2.lyon.grid5000.fr", Dst: "sagittaire-3.lyon.grid5000.fr", Size: 5e8},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	if preds[0].Duration <= preds[1].Duration {
+		t.Errorf("cross-site %v should exceed intra-cluster %v", preds[0].Duration, preds[1].Duration)
+	}
+	for _, p := range preds {
+		if p.Duration <= 0 || math.IsNaN(p.Duration) {
+			t.Errorf("bad duration %v", p.Duration)
+		}
+	}
+	if _, err := PredictTransfers(entry, nil, nil); err == nil {
+		t.Error("empty request accepted")
+	}
+}
+
+func TestHTTPPredictTransfers(t *testing.T) {
+	_, client := newTestServer(t)
+	preds, err := client.PredictTransfers("g5k_test", []TransferRequest{
+		{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "graphene-1.nancy.grid5000.fr", Size: 5e8},
+		{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: 5e8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	// The paper's worked-example structure: both transfers share the
+	// source NIC, and the intra-site one (higher 1/RTT weight) wins
+	// clearly.
+	if preds[1].Duration >= preds[0].Duration*0.6 {
+		t.Errorf("intra %v vs cross %v", preds[1].Duration, preds[0].Duration)
+	}
+	if preds[0].Src != "sagittaire-1.lyon.grid5000.fr" || preds[0].Size != 5e8 {
+		t.Errorf("echo fields wrong: %+v", preds[0])
+	}
+}
+
+func TestHTTPPredictErrors(t *testing.T) {
+	srv, client := newTestServer(t)
+
+	if _, err := client.PredictTransfers("ghost", []TransferRequest{
+		{Src: "a", Dst: "b", Size: 1},
+	}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown platform: %v", err)
+	}
+	if _, err := client.PredictTransfers("g5k_test", []TransferRequest{
+		{Src: "ghost.lyon.grid5000.fr", Dst: "sagittaire-1.lyon.grid5000.fr", Size: 1},
+	}); err == nil {
+		t.Error("unknown host accepted")
+	}
+
+	// Raw malformed queries.
+	for _, path := range []string{
+		"/pilgrim/predict_transfers/g5k_test",                                // no transfer
+		"/pilgrim/predict_transfers/g5k_test?transfer=a,b",                   // missing size
+		"/pilgrim/predict_transfers/g5k_test?transfer=a,b,notanumber",        // bad size
+		"/pilgrim/predict_transfers/g5k_test?transfer=a,b,-5",                // negative
+		"/pilgrim/predict_transfers/g5k_test?transfer=a,b,1e6&bg=onlyonearg", // bad bg
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPPlatformsList(t *testing.T) {
+	_, client := newTestServer(t)
+	names, err := client.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "g5k_test" {
+		t.Errorf("platforms = %v", names)
+	}
+}
+
+func TestBackgroundFlowParameter(t *testing.T) {
+	srv, client := newTestServer(t)
+	// Prediction without background.
+	base, err := client.PredictTransfers("g5k_test", []TransferRequest{
+		{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: 5e8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same prediction with an injected background flow on the shared
+	// half-duplex NIC of the destination.
+	resp, err := http.Get(srv.URL + "/pilgrim/predict_transfers/g5k_test" +
+		"?transfer=sagittaire-1.lyon.grid5000.fr,sagittaire-2.lyon.grid5000.fr,5e8" +
+		"&bg=sagittaire-2.lyon.grid5000.fr,sagittaire-3.lyon.grid5000.fr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var loaded []Prediction
+	if err := jsonDecode(resp, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded[0].Duration <= base[0].Duration {
+		t.Errorf("background flow should slow the transfer: %v vs %v",
+			loaded[0].Duration, base[0].Duration)
+	}
+}
+
+func TestSelectFastest(t *testing.T) {
+	_, client := newTestServer(t)
+	// Hypothesis 0: big transfer cross-site. Hypothesis 1: same size
+	// intra-cluster. Intra must win.
+	best, results, err := client.SelectFastest("g5k_test", []Hypothesis{
+		{Transfers: []TransferRequest{{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "graphene-1.nancy.grid5000.fr", Size: 1e9}}},
+		{Transfers: []TransferRequest{{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: 1e9}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 {
+		t.Errorf("best = %d, want 1 (intra-site)", best)
+	}
+	if len(results) != 2 || results[1].Makespan >= results[0].Makespan {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestMetrologyServiceExample(t *testing.T) {
+	// The §IV-C1 example: one minute of sagittaire-1's pdu metric,
+	// queried with human-readable timestamps, answered as [[ts, W], ...].
+	srv, client := newTestServer(t)
+
+	// Via typed client (Unix timestamps).
+	points, err := client.FetchMetric("ganglia", "lyon", "sagittaire-1.lyon.grid5000.fr", "pdu",
+		8*3600, 8*3600+60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4 (one minute at 15s step)", len(points))
+	}
+	for _, p := range points {
+		if p.Value < 150 || p.Value > 200 {
+			t.Errorf("implausible power %v W", p.Value)
+		}
+	}
+
+	// Via the raw URL form of the paper (date-time strings).
+	resp, err := http.Get(srv.URL +
+		"/pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/" +
+		"?begin=1970-01-01%2008:00:00&end=1970-01-01%2008:01:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var raw [][2]float64
+	if err := jsonDecode(resp, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 4 {
+		t.Errorf("raw points = %d, want 4", len(raw))
+	}
+}
+
+func TestMetrologyServiceErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for path, want := range map[string]int{
+		"/pilgrim/rrd/ganglia/lyon/ghost/pdu.rrd/?begin=0&end=60":                                  http.StatusNotFound,
+		"/pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/?end=60":                  http.StatusBadRequest,
+		"/pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/?begin=60&end=10":         http.StatusBadRequest,
+		"/pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/?begin=yesterday&end=60":  http.StatusBadRequest,
+		"/pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/pdu.notrrd/?begin=0&end=60":       http.StatusBadRequest,
+		"/pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/nosuchmetric.rrd/?begin=0&end=60": http.StatusNotFound,
+		"/pilgrim/select_fastest/g5k_test":                                                         http.StatusBadRequest,
+		"/pilgrim/select_fastest/g5k_test?hypothesis=a,b":                                          http.StatusBadRequest,
+		"/pilgrim/select_fastest/nosuchplatform?hypothesis=a,b,1":                                  http.StatusNotFound,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s -> %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestConcurrentPredictions(t *testing.T) {
+	// PNFS must handle concurrent requests over a shared platform (the
+	// route cache is mutated during resolution).
+	_, client := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := "sagittaire-" + string(rune('1'+i%6)) + ".lyon.grid5000.fr"
+			dst := "graphene-" + string(rune('1'+(i+1)%8)) + ".nancy.grid5000.fr"
+			_, err := client.PredictTransfers("g5k_test", []TransferRequest{
+				{Src: src, Dst: dst, Size: 1e8},
+			})
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func jsonDecode(resp *http.Response, out interface{}) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}

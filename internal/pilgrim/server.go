@@ -1,0 +1,250 @@
+package pilgrim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pilgrim/internal/metrology"
+	"pilgrim/internal/rrd"
+	"pilgrim/internal/workflow"
+)
+
+// Server is the Pilgrim HTTP front end: the metrology RRD service and
+// PNFS, mounted under /pilgrim/ exactly as in the paper's examples.
+type Server struct {
+	platforms *Registry
+	metrics   *metrology.Registry
+	mux       *http.ServeMux
+}
+
+// NewServer builds a server over the given platform registry and metric
+// registry (either may be empty, disabling the respective service's
+// content).
+func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
+	if platforms == nil {
+		platforms = NewRegistry()
+	}
+	if metrics == nil {
+		metrics = metrology.NewRegistry()
+	}
+	s := &Server{platforms: platforms, metrics: metrics, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /pilgrim/platforms", s.handlePlatforms)
+	s.mux.HandleFunc("GET /pilgrim/predict_transfers/{platform}", s.handlePredict)
+	s.mux.HandleFunc("GET /pilgrim/select_fastest/{platform}", s.handleSelectFastest)
+	s.mux.HandleFunc("POST /pilgrim/predict_workflow/{platform}", s.handleWorkflow)
+	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}/", s.handleRRD)
+	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}", s.handleRRD)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.platforms.Names())
+}
+
+// parseTransferParam parses one "src,dst,size" value.
+func parseTransferParam(v string) (TransferRequest, error) {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return TransferRequest{}, fmt.Errorf("transfer %q is not src,dst,size", v)
+	}
+	size, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || size <= 0 || math.IsInf(size, 0) || math.IsNaN(size) {
+		return TransferRequest{}, fmt.Errorf("transfer %q has invalid size", v)
+	}
+	return TransferRequest{Src: parts[0], Dst: parts[1], Size: size}, nil
+}
+
+func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEntry, bool) {
+	name := r.PathValue("platform")
+	entry, ok := s.platforms.Get(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
+		return PlatformEntry{}, false
+	}
+	return entry, true
+}
+
+// handlePredict implements PNFS (§IV-C2):
+//
+//	GET /pilgrim/predict_transfers/g5k_test?transfer=src,dst,size&...
+//	    [&bg=src,dst]...
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.platformOf(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	var transfers []TransferRequest
+	for _, v := range q["transfer"] {
+		t, err := parseTransferParam(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		transfers = append(transfers, t)
+	}
+	if len(transfers) == 0 {
+		http.Error(w, "at least one transfer parameter required", http.StatusBadRequest)
+		return
+	}
+	var background [][2]string
+	for _, v := range q["bg"] {
+		parts := strings.Split(v, ",")
+		if len(parts) != 2 {
+			http.Error(w, fmt.Sprintf("bg %q is not src,dst", v), http.StatusBadRequest)
+			return
+		}
+		background = append(background, [2]string{parts[0], parts[1]})
+	}
+	preds, err := PredictTransfers(entry, transfers, background)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, preds)
+}
+
+// handleSelectFastest implements the hypothesis-selection extension:
+//
+//	GET /pilgrim/select_fastest/g5k_test?hypothesis=src,dst,size[;src,dst,size...]&hypothesis=...
+func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.platformOf(w, r)
+	if !ok {
+		return
+	}
+	var hyps []Hypothesis
+	for _, hv := range r.URL.Query()["hypothesis"] {
+		var h Hypothesis
+		for _, tv := range strings.Split(hv, ";") {
+			t, err := parseTransferParam(tv)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			h.Transfers = append(h.Transfers, t)
+		}
+		hyps = append(hyps, h)
+	}
+	if len(hyps) == 0 {
+		http.Error(w, "at least one hypothesis parameter required", http.StatusBadRequest)
+		return
+	}
+	best, results, err := SelectFastest(entry, hyps)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, struct {
+		Best    int                `json:"best"`
+		Results []HypothesisResult `json:"results"`
+	}{Best: best, Results: results})
+}
+
+// handleWorkflow implements the workflow-forecast extension (future work
+// §VI): POST a JSON workflow DAG of compute and transfer tasks, receive
+// the simulated schedule and makespan.
+func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.platformOf(w, r)
+	if !ok {
+		return
+	}
+	var wf workflow.Workflow
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&wf); err != nil {
+		http.Error(w, fmt.Sprintf("decoding workflow: %v", err), http.StatusBadRequest)
+		return
+	}
+	forecast, err := workflow.Predict(entry.Platform, entry.Config, &wf)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, forecast)
+}
+
+// handleRRD implements the metrology service (§IV-C1):
+//
+//	GET /pilgrim/rrd/ganglia/lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/
+//	    ?begin=2012-05-04%2008:00:00&end=2012-05-04%2008:01:00
+//
+// The answer is a JSON array of [timestamp, value] pairs from the most
+// accurate archives available.
+func (s *Server) handleRRD(w http.ResponseWriter, r *http.Request) {
+	mp, err := metrology.ParseMetricPath(strings.Join([]string{
+		r.PathValue("tool"), r.PathValue("site"), r.PathValue("host"), r.PathValue("metric"),
+	}, "/"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	db, ok := s.metrics.Database(mp)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown metric %s", mp), http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	begin, err := parseTimestamp(q.Get("begin"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("begin: %v", err), http.StatusBadRequest)
+		return
+	}
+	end, err := parseTimestamp(q.Get("end"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("end: %v", err), http.StatusBadRequest)
+		return
+	}
+	if end <= begin {
+		http.Error(w, "end must be after begin", http.StatusBadRequest)
+		return
+	}
+	series, err := db.FetchBest(rrd.Average, begin, end)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The paper's answer format: [[ts, value], ...], skipping unknowns.
+	out := make([][2]float64, 0, len(series.Rows))
+	for i, row := range series.Rows {
+		if len(row) == 0 || math.IsNaN(row[0]) {
+			continue
+		}
+		out = append(out, [2]float64{float64(series.Start + int64(i)*series.Step), row[0]})
+	}
+	writeJSON(w, out)
+}
+
+// parseTimestamp accepts Unix seconds or "2006-01-02 15:04:05" (UTC), the
+// format of the paper's example query.
+func parseTimestamp(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing timestamp")
+	}
+	if ts, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ts, nil
+	}
+	t, err := time.Parse("2006-01-02 15:04:05", s)
+	if err != nil {
+		return 0, fmt.Errorf("timestamp %q is neither Unix seconds nor YYYY-MM-DD HH:MM:SS", s)
+	}
+	return t.UTC().Unix(), nil
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		// Response already begun; nothing to report to the client.
+		return
+	}
+}

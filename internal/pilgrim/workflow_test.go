@@ -1,0 +1,108 @@
+package pilgrim
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"pilgrim/internal/workflow"
+)
+
+func TestHTTPPredictWorkflow(t *testing.T) {
+	_, client := newTestServer(t)
+	wf := &workflow.Workflow{
+		Name: "stage-and-crunch",
+		Tasks: []workflow.Task{
+			{ID: "ship", Kind: workflow.TransferData,
+				Src: "sagittaire-1.lyon.grid5000.fr", Dst: "graphene-1.nancy.grid5000.fr",
+				Bytes: 1e9},
+			{ID: "crunch", Kind: workflow.Compute,
+				Host: "graphene-1.nancy.grid5000.fr", Flops: 20e9,
+				DependsOn: []string{"ship"}},
+		},
+	}
+	if _, err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	forecast, err := client.PredictWorkflow("g5k_test", wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forecast.Name != "stage-and-crunch" {
+		t.Errorf("name = %q", forecast.Name)
+	}
+	if len(forecast.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(forecast.Tasks))
+	}
+	var ship, crunch workflow.TaskSchedule
+	for _, ts := range forecast.Tasks {
+		switch ts.ID {
+		case "ship":
+			ship = ts
+		case "crunch":
+			crunch = ts
+		}
+	}
+	if ship.Finish <= ship.Start {
+		t.Errorf("ship schedule = %+v", ship)
+	}
+	if crunch.Start < ship.Finish {
+		t.Errorf("crunch started before its dependency finished: %+v vs %+v", crunch, ship)
+	}
+	// graphene-1 runs at 10.1 Gflop/s: the 20 Gflop crunch takes ~1.98s.
+	dur := crunch.Finish - crunch.Start
+	if dur < 1.9 || dur > 2.1 {
+		t.Errorf("crunch duration = %v, want ~1.98", dur)
+	}
+	if forecast.Makespan != crunch.Finish {
+		t.Errorf("makespan %v != last finish %v", forecast.Makespan, crunch.Finish)
+	}
+}
+
+func TestHTTPPredictWorkflowErrors(t *testing.T) {
+	srv, client := newTestServer(t)
+
+	// Cyclic workflow rejected with 400.
+	cyclic := &workflow.Workflow{
+		Name: "cycle",
+		Tasks: []workflow.Task{
+			{ID: "a", Kind: workflow.Compute, Host: "sagittaire-1.lyon.grid5000.fr", Flops: 1, DependsOn: []string{"b"}},
+			{ID: "b", Kind: workflow.Compute, Host: "sagittaire-1.lyon.grid5000.fr", Flops: 1, DependsOn: []string{"a"}},
+		},
+	}
+	if _, err := client.PredictWorkflow("g5k_test", cyclic); err == nil ||
+		!strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle error = %v", err)
+	}
+
+	// Unknown platform -> 404.
+	ok := &workflow.Workflow{
+		Name:  "ok",
+		Tasks: []workflow.Task{{ID: "t", Kind: workflow.Compute, Host: "sagittaire-1.lyon.grid5000.fr", Flops: 1}},
+	}
+	if _, err := client.PredictWorkflow("ghost", ok); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown platform error = %v", err)
+	}
+
+	// Malformed JSON body -> 400.
+	resp, err := http.Post(srv.URL+"/pilgrim/predict_workflow/g5k_test",
+		"application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body -> %d, want 400", resp.StatusCode)
+	}
+
+	// GET on the POST endpoint is rejected.
+	resp, err = http.Get(srv.URL + "/pilgrim/predict_workflow/g5k_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET on predict_workflow succeeded")
+	}
+}

@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"pilgrim/internal/stats"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		Title: "test / topology CLUSTER / 1 source / 10 destinations",
+		Sizes: []float64{1e5, 1e7, 1e9},
+		Boxes: []stats.BoxSummary{
+			stats.Box([]float64{-3.2, -2.8, -3.0, -4.1, -2.2}),
+			stats.Box([]float64{-0.6, -0.4, -0.5, -0.9, -0.2}),
+			stats.Box([]float64{0.05, -0.1, 0.0, 0.12, -0.02}),
+		},
+		Durations: []float64{0.03, 0.4, 9.2},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := sampleFigure()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := f
+	bad.Durations = bad.Durations[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("inconsistent columns accepted")
+	}
+	empty := Figure{Title: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty figure accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f := sampleFigure()
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "size_bytes,err_median") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.000e+05,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Each row has 8 fields.
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != 8 {
+			t.Errorf("row %q has %d fields", line, got)
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	f := sampleFigure()
+	out := f.RenderASCII(14)
+	if !strings.Contains(out, f.Title) {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "transfer size (bytes)") {
+		t.Error("missing x label")
+	}
+	// Box glyphs present.
+	for _, glyph := range []string{"#", "M", "d", "|"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("missing glyph %q in:\n%s", glyph, out)
+		}
+	}
+	// The zero line must be drawn.
+	if !strings.Contains(out, ".") {
+		t.Error("missing zero-error line")
+	}
+	// Roughly the requested height plus headers/footers.
+	lines := strings.Count(out, "\n")
+	if lines < 14 || lines > 20 {
+		t.Errorf("rendered %d lines", lines)
+	}
+}
+
+func TestRenderASCIIDegenerate(t *testing.T) {
+	// All-equal errors and a single column must not panic.
+	f := Figure{
+		Title:     "degenerate",
+		Sizes:     []float64{1e6},
+		Boxes:     []stats.BoxSummary{stats.Box([]float64{0, 0, 0})},
+		Durations: []float64{1},
+	}
+	out := f.RenderASCII(4) // below minimum; must clamp
+	if !strings.Contains(out, "degenerate") {
+		t.Errorf("render failed:\n%s", out)
+	}
+	// Invalid figure renders its error rather than panicking.
+	bad := Figure{Title: "bad"}
+	if out := bad.RenderASCII(10); !strings.Contains(out, "no columns") {
+		t.Errorf("bad render = %q", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("Stats:", [][2]string{
+		{"median", "0.149"},
+		{"long-label-here", "0.532"},
+	})
+	if !strings.Contains(out, "Stats:") || !strings.Contains(out, "median") {
+		t.Errorf("table = %q", out)
+	}
+	// Alignment: both value columns start at the same offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Index(lines[1], "0.149") != strings.Index(lines[2], "0.532") {
+		t.Error("columns misaligned")
+	}
+}

@@ -1,0 +1,305 @@
+package rrd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// On-disk format ("PRRD1"): a little-endian binary layout mirroring the
+// in-memory structure. RRD files are the de-facto exchange format of the
+// metrology world (§III-A); keeping ours on disk lets the Pilgrim RRD
+// service front a directory tree of files exactly like Ganglia's.
+//
+//	magic    [5]byte  "PRRD1"
+//	step     int64
+//	nDS      int32
+//	per DS:  nameLen int32, name []byte, kind int32, heartbeat int64
+//	nRRA     int32
+//	per RRA: cf int32, pdpPerRow int32, rows int32
+//	lastUpdate int64
+//	pdpStart   int64
+//	lastValues [nDS]float64
+//	pdpSum     [nDS]float64
+//	pdpCover   [nDS]float64
+//	per RRA: head int32, written int64, accumN int32,
+//	         accum [nDS]float64, accumKnown [nDS]int32,
+//	         ring [rows*nDS]float64
+
+var magic = [5]byte{'P', 'R', 'R', 'D', '1'}
+
+// ErrBadFormat reports a malformed or truncated RRD file.
+var ErrBadFormat = errors.New("rrd: bad file format")
+
+// Save writes the database to w.
+func (r *RRD) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	write := func(v interface{}) error { return binary.Write(bw, binary.LittleEndian, v) }
+
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := write(r.step); err != nil {
+		return err
+	}
+	if err := write(int32(len(r.dss))); err != nil {
+		return err
+	}
+	for _, ds := range r.dss {
+		if err := write(int32(len(ds.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(ds.Name); err != nil {
+			return err
+		}
+		if err := write(int32(ds.Kind)); err != nil {
+			return err
+		}
+		if err := write(ds.Heartbeat); err != nil {
+			return err
+		}
+	}
+	if err := write(int32(len(r.rras))); err != nil {
+		return err
+	}
+	for _, st := range r.rras {
+		if err := write(int32(st.def.CF)); err != nil {
+			return err
+		}
+		if err := write(int32(st.def.PdpPerRow)); err != nil {
+			return err
+		}
+		if err := write(int32(st.def.Rows)); err != nil {
+			return err
+		}
+	}
+	if err := write(r.lastUpdate); err != nil {
+		return err
+	}
+	if err := write(r.pdpStart); err != nil {
+		return err
+	}
+	for _, arr := range [][]float64{r.lastValues, r.pdpSum, r.pdpCover} {
+		if err := write(arr); err != nil {
+			return err
+		}
+	}
+	for _, st := range r.rras {
+		if err := write(int32(st.head)); err != nil {
+			return err
+		}
+		if err := write(st.written); err != nil {
+			return err
+		}
+		if err := write(int32(st.accumN)); err != nil {
+			return err
+		}
+		if err := write(st.accum); err != nil {
+			return err
+		}
+		known := make([]int32, len(st.accumKnown))
+		for i, k := range st.accumKnown {
+			known[i] = int32(k)
+		}
+		if err := write(known); err != nil {
+			return err
+		}
+		if err := write(st.ring); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a database previously written by Save.
+func Load(rd io.Reader) (*RRD, error) {
+	br := bufio.NewReader(rd)
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var m [5]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
+	}
+	var step int64
+	if err := read(&step); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	var nDS int32
+	if err := read(&nDS); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if nDS <= 0 || nDS > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible DS count %d", ErrBadFormat, nDS)
+	}
+	dss := make([]DS, nDS)
+	for i := range dss {
+		var nameLen int32
+		if err := read(&nameLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if nameLen <= 0 || nameLen > 1<<12 {
+			return nil, fmt.Errorf("%w: implausible DS name length %d", ErrBadFormat, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		var kind int32
+		if err := read(&kind); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		var hb int64
+		if err := read(&hb); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		dss[i] = DS{Name: string(name), Kind: DSKind(kind), Heartbeat: hb}
+	}
+	var nRRA int32
+	if err := read(&nRRA); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if nRRA <= 0 || nRRA > 1<<12 {
+		return nil, fmt.Errorf("%w: implausible RRA count %d", ErrBadFormat, nRRA)
+	}
+	rras := make([]RRA, nRRA)
+	for i := range rras {
+		var cf, pdp, rows int32
+		if err := read(&cf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if err := read(&pdp); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if err := read(&rows); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		rras[i] = RRA{CF: CF(cf), PdpPerRow: int(pdp), Rows: int(rows)}
+	}
+	r, err := Create(step, dss, rras)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if err := read(&r.lastUpdate); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if err := read(&r.pdpStart); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	for _, arr := range [][]float64{r.lastValues, r.pdpSum, r.pdpCover} {
+		if err := read(arr); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	for _, st := range r.rras {
+		var head, accumN int32
+		if err := read(&head); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if err := read(&st.written); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if err := read(&accumN); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if head < 0 || int(head) >= st.def.Rows {
+			return nil, fmt.Errorf("%w: ring head out of range", ErrBadFormat)
+		}
+		st.head = int(head)
+		st.accumN = int(accumN)
+		if err := read(st.accum); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		known := make([]int32, len(st.accumKnown))
+		if err := read(known); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		for i, k := range known {
+			st.accumKnown[i] = int(k)
+		}
+		if err := read(st.ring); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	return r, nil
+}
+
+// SaveFile writes the database to path atomically (write + rename).
+func (r *RRD) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a database from path.
+func LoadFile(path string) (*RRD, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Equal reports whether two databases have identical structure and
+// content (used by round-trip tests).
+func (r *RRD) Equal(o *RRD) bool {
+	if r.step != o.step || r.lastUpdate != o.lastUpdate || r.pdpStart != o.pdpStart {
+		return false
+	}
+	if len(r.dss) != len(o.dss) || len(r.rras) != len(o.rras) {
+		return false
+	}
+	for i := range r.dss {
+		if r.dss[i] != o.dss[i] {
+			return false
+		}
+	}
+	eqF := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if !eqF(r.lastValues, o.lastValues) || !eqF(r.pdpSum, o.pdpSum) || !eqF(r.pdpCover, o.pdpCover) {
+		return false
+	}
+	for i := range r.rras {
+		a, b := r.rras[i], o.rras[i]
+		if a.def != b.def || a.head != b.head || a.written != b.written || a.accumN != b.accumN {
+			return false
+		}
+		if !eqF(a.accum, b.accum) || !eqF(a.ring, b.ring) {
+			return false
+		}
+		for d := range a.accumKnown {
+			if a.accumKnown[d] != b.accumKnown[d] {
+				return false
+			}
+		}
+	}
+	return true
+}

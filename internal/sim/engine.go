@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pilgrim/internal/flow"
+	"pilgrim/internal/platform"
+)
+
+// ActivityID identifies an activity within an Engine.
+type ActivityID int
+
+// activityKind discriminates engine activities.
+type activityKind int
+
+const (
+	commActivity activityKind = iota
+	execActivity
+	timerActivity
+)
+
+// activityPhase tracks the lifecycle of an activity.
+type activityPhase int
+
+const (
+	phaseScheduled activityPhase = iota // waiting for its start date
+	phaseLatency                        // communication in latency phase
+	phaseActive                         // consuming bandwidth / flops
+	phaseDone
+)
+
+// activity is one simulated resource consumer: a communication or a
+// computation.
+type activity struct {
+	id    ActivityID
+	kind  activityKind
+	phase activityPhase
+
+	start     float64 // requested start date
+	latLeft   float64 // remaining latency phase (comm)
+	remaining float64 // bytes (comm) or flops (exec)
+	rate      float64 // current allocation
+
+	// comm fields
+	links  []platform.LinkUse
+	weight float64
+	bound  float64
+	// persistent flows model background traffic: they share bandwidth but
+	// never complete and generate no events.
+	persistent bool
+
+	// exec fields
+	host *platform.Host
+
+	finished float64 // completion date, valid when phase == phaseDone
+	onDone   func(now float64)
+}
+
+// Engine is the discrete-event kernel. It is not safe for concurrent use;
+// the MSG layer serializes access.
+type Engine struct {
+	cfg  Config
+	plat *platform.Platform
+
+	now    float64
+	nextID ActivityID
+	acts   map[ActivityID]*activity
+	order  []ActivityID // deterministic iteration order
+	dirty  bool         // sharing must be recomputed
+
+	events int // sharing recomputations, for benchmarks
+}
+
+// NewEngine creates an engine over the given platform with the given
+// model configuration.
+func NewEngine(plat *platform.Platform, cfg Config) *Engine {
+	return &Engine{
+		cfg:  cfg,
+		plat: plat,
+		acts: make(map[ActivityID]*activity),
+	}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Resharings returns how many times bandwidth sharing was recomputed —
+// the cost driver of a simulation, reported by benchmarks.
+func (e *Engine) Resharings() int { return e.events }
+
+// Platform returns the simulated platform.
+func (e *Engine) Platform() *platform.Platform { return e.plat }
+
+func (e *Engine) add(a *activity) ActivityID {
+	a.id = e.nextID
+	e.nextID++
+	e.acts[a.id] = a
+	e.order = append(e.order, a.id)
+	e.dirty = true
+	return a.id
+}
+
+// AddComm schedules a communication of size bytes from src to dst starting
+// at date start (>= Now). onDone, if non-nil, runs when it completes.
+func (e *Engine) AddComm(src, dst string, size, start float64, onDone func(now float64)) (ActivityID, error) {
+	if size <= 0 || math.IsNaN(size) || math.IsInf(size, 0) {
+		return 0, fmt.Errorf("sim: invalid transfer size %v", size)
+	}
+	if start < e.now {
+		return 0, fmt.Errorf("sim: start date %v is in the past (now %v)", start, e.now)
+	}
+	route, err := e.plat.RouteBetween(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	a := &activity{
+		kind:      commActivity,
+		phase:     phaseScheduled,
+		start:     start,
+		latLeft:   e.cfg.LatencyFactor * route.Latency,
+		remaining: size,
+		links:     route.Links,
+		weight:    1 / e.cfg.rttWeight(route.Latency),
+		bound:     e.cfg.windowBound(route.Latency),
+		onDone:    onDone,
+	}
+	return e.add(a), nil
+}
+
+// AddBackgroundFlow installs a persistent flow from src to dst that
+// competes for bandwidth like a regular TCP stream but never terminates.
+// This implements the paper's "model the background traffic of Grid'5000"
+// future work: metrology-observed cross-traffic can be injected into each
+// forecast simulation.
+func (e *Engine) AddBackgroundFlow(src, dst string, start float64) (ActivityID, error) {
+	id, err := e.AddComm(src, dst, math.MaxFloat64/4, start, nil)
+	if err != nil {
+		return 0, err
+	}
+	e.acts[id].persistent = true
+	return id, nil
+}
+
+// RemoveBackgroundFlow withdraws a persistent flow.
+func (e *Engine) RemoveBackgroundFlow(id ActivityID) error {
+	a, ok := e.acts[id]
+	if !ok || !a.persistent || a.phase == phaseDone {
+		return fmt.Errorf("sim: no background flow %d", id)
+	}
+	a.phase = phaseDone
+	a.finished = e.now
+	e.dirty = true
+	return nil
+}
+
+// AddExec schedules a computation of the given flops on host, starting at
+// date start. Concurrent computations on one host share its speed equally.
+func (e *Engine) AddExec(host string, flops, start float64, onDone func(now float64)) (ActivityID, error) {
+	if flops <= 0 || math.IsNaN(flops) || math.IsInf(flops, 0) {
+		return 0, fmt.Errorf("sim: invalid flops %v", flops)
+	}
+	if start < e.now {
+		return 0, fmt.Errorf("sim: start date %v is in the past (now %v)", start, e.now)
+	}
+	h := e.plat.Host(host)
+	if h == nil {
+		return 0, fmt.Errorf("sim: unknown host %q", host)
+	}
+	a := &activity{
+		kind:      execActivity,
+		phase:     phaseScheduled,
+		start:     start,
+		remaining: flops,
+		host:      h,
+		onDone:    onDone,
+	}
+	return e.add(a), nil
+}
+
+// AddTimer schedules a pure time event firing duration seconds after
+// start. Timers consume no resources; the MSG layer uses them for Sleep.
+func (e *Engine) AddTimer(duration, start float64, onDone func(now float64)) (ActivityID, error) {
+	if duration < 0 || math.IsNaN(duration) {
+		return 0, fmt.Errorf("sim: invalid timer duration %v", duration)
+	}
+	if start < e.now {
+		return 0, fmt.Errorf("sim: start date %v is in the past (now %v)", start, e.now)
+	}
+	a := &activity{
+		kind:      timerActivity,
+		phase:     phaseScheduled,
+		start:     start,
+		remaining: duration,
+		rate:      1,
+		onDone:    onDone,
+	}
+	return e.add(a), nil
+}
+
+// Done reports whether the activity has completed, and at what date.
+func (e *Engine) Done(id ActivityID) (bool, float64) {
+	a, ok := e.acts[id]
+	if !ok {
+		return false, 0
+	}
+	return a.phase == phaseDone, a.finished
+}
+
+// constraintKey identifies one shared resource in the LMM system.
+type constraintKey struct {
+	link *platform.Link
+	dir  platform.Direction
+	host *platform.Host
+}
+
+// reshare rebuilds and solves the max-min system for all active
+// activities.
+func (e *Engine) reshare() error {
+	e.events++
+	s := flow.NewSystem()
+	cnsts := make(map[constraintKey]*flow.Constraint)
+
+	constraintFor := func(k constraintKey, capacity float64) *flow.Constraint {
+		if c, ok := cnsts[k]; ok {
+			return c
+		}
+		id := "cpu:"
+		if k.host == nil {
+			id = k.link.ID + ":" + k.dir.String()
+		} else {
+			id += k.host.ID
+		}
+		c := s.NewConstraint(id, capacity)
+		cnsts[k] = c
+		return c
+	}
+
+	vars := make(map[ActivityID]*flow.Variable)
+	for _, id := range e.order {
+		a := e.acts[id]
+		if a.phase != phaseActive {
+			continue
+		}
+		switch a.kind {
+		case commActivity:
+			bound := a.bound
+			// Fatpipe links bound the flow without sharing.
+			for _, u := range a.links {
+				if u.Link.Policy == platform.Fatpipe {
+					cap := u.Link.Bandwidth * e.cfg.BandwidthFactor
+					if bound == 0 || cap < bound {
+						bound = cap
+					}
+				}
+			}
+			v := s.NewVariable(fmt.Sprintf("comm%d", a.id), a.weight, bound)
+			vars[a.id] = v
+			for _, u := range a.links {
+				switch u.Link.Policy {
+				case platform.Shared:
+					c := constraintFor(constraintKey{link: u.Link, dir: platform.None},
+						u.Link.Bandwidth*e.cfg.BandwidthFactor)
+					if err := s.Attach(v, c); err != nil {
+						// A route may legitimately traverse the same
+						// shared link twice only in pathological
+						// platforms; treat as single attachment.
+						continue
+					}
+				case platform.FullDuplex:
+					dir := u.Direction
+					if dir == platform.None {
+						dir = platform.Up
+					}
+					c := constraintFor(constraintKey{link: u.Link, dir: dir},
+						u.Link.Bandwidth*e.cfg.BandwidthFactor)
+					if err := s.Attach(v, c); err != nil {
+						continue
+					}
+				case platform.Fatpipe:
+					// handled via bound above
+				}
+			}
+		case execActivity:
+			v := s.NewVariable(fmt.Sprintf("exec%d", a.id), 1, 0)
+			vars[a.id] = v
+			c := constraintFor(constraintKey{host: a.host}, a.host.Speed)
+			s.MustAttach(v, c)
+		}
+	}
+	if err := s.Solve(); err != nil {
+		return fmt.Errorf("sim: sharing: %w", err)
+	}
+	for id, v := range vars {
+		e.acts[id].rate = v.Rate()
+	}
+	e.dirty = false
+	return nil
+}
+
+// completionEps is the byte/flop tolerance below which an activity is
+// considered finished, guarding against floating-point residue.
+const completionEps = 1e-6
+
+// nextEventTime returns the earliest upcoming event date, or +Inf when no
+// event is pending.
+func (e *Engine) nextEventTime() float64 {
+	t := math.Inf(1)
+	for _, id := range e.order {
+		a := e.acts[id]
+		switch a.phase {
+		case phaseScheduled:
+			if a.start < t {
+				t = a.start
+			}
+		case phaseLatency:
+			if et := e.now + a.latLeft; et < t {
+				t = et
+			}
+		case phaseActive:
+			if a.persistent {
+				continue
+			}
+			if a.rate > 0 {
+				if et := e.now + a.remaining/a.rate; et < t {
+					t = et
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Step advances simulated time to the next event and processes it.
+// It returns the activities completed at the new time, and ok=false when
+// no event remains (simulation finished or stalled).
+func (e *Engine) Step() (completed []ActivityID, ok bool, err error) {
+	if e.dirty {
+		if err := e.reshare(); err != nil {
+			return nil, false, err
+		}
+	}
+	t := e.nextEventTime()
+	if math.IsInf(t, 1) {
+		// Detect stalls: an active non-persistent activity with zero rate
+		// can never finish (e.g. a zero-capacity link).
+		for _, id := range e.order {
+			a := e.acts[id]
+			if a.phase == phaseActive && !a.persistent && a.rate <= 0 {
+				return nil, false, fmt.Errorf("sim: activity %d stalled with zero rate", a.id)
+			}
+		}
+		return nil, false, nil
+	}
+	dt := t - e.now
+	if dt < 0 {
+		return nil, false, fmt.Errorf("sim: time went backwards (%v -> %v)", e.now, t)
+	}
+
+	// Advance all in-flight activities by dt.
+	for _, id := range e.order {
+		a := e.acts[id]
+		switch a.phase {
+		case phaseLatency:
+			a.latLeft -= dt
+		case phaseActive:
+			if !a.persistent {
+				a.remaining -= a.rate * dt
+			}
+		}
+	}
+	e.now = t
+
+	// Process state changes due now.
+	for _, id := range e.order {
+		a := e.acts[id]
+		switch a.phase {
+		case phaseScheduled:
+			if a.start <= e.now+1e-15 {
+				if a.kind == commActivity && a.latLeft > 0 {
+					a.phase = phaseLatency
+				} else {
+					a.phase = phaseActive
+					e.dirty = true
+				}
+			}
+		case phaseLatency:
+			// The residue comparison is relative to the current date:
+			// once latLeft falls below the floating-point resolution of
+			// now, time can no longer advance by it (now + latLeft ==
+			// now) and the phase must be considered over.
+			if a.latLeft <= 1e-15+e.now*1e-12 {
+				a.latLeft = 0
+				a.phase = phaseActive
+				e.dirty = true
+			}
+		case phaseActive:
+			// Completion when the residue is below the absolute epsilon
+			// or too small to advance simulated time (the remaining
+			// duration is under the floating-point resolution of now) —
+			// the second clause prevents a zero-dt stall near the end of
+			// long simulations.
+			if !a.persistent && (a.remaining <= completionEps || a.remaining <= a.rate*e.now*1e-12) {
+				a.remaining = 0
+				a.phase = phaseDone
+				a.finished = e.now
+				e.dirty = true
+				completed = append(completed, a.id)
+				if a.onDone != nil {
+					a.onDone(e.now)
+				}
+			}
+		}
+	}
+	sort.Slice(completed, func(i, j int) bool { return completed[i] < completed[j] })
+	return completed, true, nil
+}
+
+// RunToCompletion steps the engine until no event remains. The returned
+// count is the number of activities that completed.
+//
+// A defensive event budget turns scheduling bugs (stalled zero-dt loops)
+// into diagnosable errors instead of hangs: activities generate a bounded
+// number of events each (arrival, latency end, completion), so exceeding
+// a generous multiple of the activity count is a bug by construction.
+func (e *Engine) RunToCompletion() (int, error) {
+	total := 0
+	steps := 0
+	for {
+		done, ok, err := e.Step()
+		if err != nil {
+			return total, err
+		}
+		total += len(done)
+		if !ok {
+			return total, nil
+		}
+		steps++
+		if steps > 100*(len(e.acts)+10) {
+			return total, fmt.Errorf("sim: event budget exhausted at t=%v: %s", e.now, e.dumpLive())
+		}
+	}
+}
+
+// dumpLive renders non-done activities for stall diagnostics.
+func (e *Engine) dumpLive() string {
+	out := ""
+	for _, id := range e.order {
+		a := e.acts[id]
+		if a.phase == phaseDone {
+			continue
+		}
+		out += fmt.Sprintf("\n  act %d kind=%d phase=%d start=%v latLeft=%v remaining=%v rate=%v",
+			a.id, a.kind, a.phase, a.start, a.latLeft, a.remaining, a.rate)
+	}
+	return out
+}

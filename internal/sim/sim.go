@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"pilgrim/internal/platform"
+)
+
+// Transfer is one TCP transfer to simulate: size bytes from Src to Dst,
+// departing at Start (simulated seconds).
+type Transfer struct {
+	Src   string
+	Dst   string
+	Size  float64
+	Start float64
+}
+
+// TransferResult reports the simulated outcome of one Transfer.
+type TransferResult struct {
+	Transfer
+	// Completion is the absolute simulated date the last byte arrived.
+	Completion float64
+	// Duration is Completion - Start: the predicted transfer completion
+	// time PNFS returns.
+	Duration float64
+}
+
+// Simulation is the batch façade used by the forecast service: declare a
+// set of concurrent transfers, Run, and read the predicted completion
+// times. It mirrors the paper's use of SimGrid — "a simulation is
+// instantiated, containing one send and one receive process for each
+// requested transfer" (§IV-C2) — without the process-API overhead.
+type Simulation struct {
+	engine    *Engine
+	transfers []Transfer
+	bg        []Transfer
+	ran       bool
+}
+
+// NewSimulation creates a simulation over the platform with the given
+// model configuration.
+func NewSimulation(plat *platform.Platform, cfg Config) *Simulation {
+	return &Simulation{engine: NewEngine(plat, cfg)}
+}
+
+// AddTransfer declares a transfer starting at simulated time 0.
+func (s *Simulation) AddTransfer(src, dst string, size float64) {
+	s.AddTransferAt(src, dst, size, 0)
+}
+
+// AddTransferAt declares a transfer with an explicit start date.
+func (s *Simulation) AddTransferAt(src, dst string, size, start float64) {
+	s.transfers = append(s.transfers, Transfer{Src: src, Dst: dst, Size: size, Start: start})
+}
+
+// AddBackgroundFlow declares a persistent contending flow (cross-traffic)
+// present from simulated time 0.
+func (s *Simulation) AddBackgroundFlow(src, dst string) {
+	s.bg = append(s.bg, Transfer{Src: src, Dst: dst})
+}
+
+// Run simulates all declared transfers and returns their results in
+// declaration order. Run may only be called once per Simulation.
+func (s *Simulation) Run() ([]TransferResult, error) {
+	if s.ran {
+		return nil, fmt.Errorf("sim: Run called twice")
+	}
+	s.ran = true
+	results := make([]TransferResult, len(s.transfers))
+	for _, t := range s.bg {
+		if _, err := s.engine.AddBackgroundFlow(t.Src, t.Dst, 0); err != nil {
+			return nil, fmt.Errorf("sim: background flow %s->%s: %w", t.Src, t.Dst, err)
+		}
+	}
+	for i, t := range s.transfers {
+		i, t := i, t
+		_, err := s.engine.AddComm(t.Src, t.Dst, t.Size, t.Start, func(now float64) {
+			results[i] = TransferResult{
+				Transfer:   t,
+				Completion: now,
+				Duration:   now - t.Start,
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: transfer %s->%s: %w", t.Src, t.Dst, err)
+		}
+	}
+	n, err := s.engine.RunToCompletion()
+	if err != nil {
+		return nil, err
+	}
+	if n != len(s.transfers) {
+		return nil, fmt.Errorf("sim: %d of %d transfers completed", n, len(s.transfers))
+	}
+	return results, nil
+}
+
+// Engine exposes the underlying engine (benchmarks read Resharings).
+func (s *Simulation) Engine() *Engine { return s.engine }
+
+// Predict is a convenience one-shot: simulate the given concurrent
+// transfers (all starting at time 0) on plat and return their durations.
+func Predict(plat *platform.Platform, cfg Config, transfers []Transfer) ([]TransferResult, error) {
+	s := &Simulation{engine: NewEngine(plat, cfg)}
+	for _, t := range transfers {
+		s.AddTransferAt(t.Src, t.Dst, t.Size, t.Start)
+	}
+	return s.Run()
+}

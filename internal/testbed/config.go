@@ -1,0 +1,122 @@
+// Package testbed emulates the *real* Grid'5000 network: it is the ground
+// truth that Pilgrim's predictions are compared against, substituting for
+// the physical testbed the paper measured with iperf (§V-A).
+//
+// Where the forecast model (package sim) is a deliberately coarse fluid
+// approximation — hardcoded latencies, half-duplex access links, no slow
+// start — the testbed simulates the mechanisms real transfers exhibit:
+//
+//   - full-duplex links everywhere (physical gigabit Ethernet);
+//   - per-hop forwarding latencies derived from hardware classes, much
+//     lower than the model's hardcoded 1e-4 s;
+//   - TCP connection establishment (1.5 RTT) and slow start (CUBIC with
+//     HyStart disabled on Linux 2.6.32: initial window 3 segments,
+//     doubling per RTT until network-limited), which dominates small
+//     transfers — the paper's main source of prediction error (§V-B);
+//   - a maximum window of 4 MiB (the kernel tuning of §V-A);
+//   - per-node application overhead (iperf process setup, termination
+//     handshake, reporting), large on 2004-era Opterons and small on
+//     2009/2010-era Xeons — this is what makes the sagittaire error
+//     negative and the graphene error positive at small sizes;
+//   - multiplicative measurement jitter.
+//
+// The divergences between this emulator and the fluid model reproduce the
+// error structure of Figures 3-11; see DESIGN.md §2 and EXPERIMENTS.md.
+package testbed
+
+import "pilgrim/internal/stats"
+
+// NodeClass captures the hardware-generation profile of a cluster's
+// nodes.
+type NodeClass struct {
+	// HostLatency is the one-way NIC+stack latency contribution in
+	// seconds.
+	HostLatency float64
+	// OverheadMean is the mean per-transfer application overhead in
+	// seconds (process fork, TCP teardown, iperf reporting).
+	OverheadMean float64
+	// OverheadSigma is the lognormal sigma of the overhead.
+	OverheadSigma float64
+}
+
+// Config parameterizes the emulation.
+type Config struct {
+	// Classes maps node-class names (g5k Cluster.NodeClass) to profiles.
+	Classes map[string]NodeClass
+	// DefaultClass applies to unknown class names.
+	DefaultClass NodeClass
+	// SwitchLatency is the one-way forwarding delay of an aggregation
+	// switch, in seconds.
+	SwitchLatency float64
+	// RouterLatency is the one-way forwarding delay of a site router.
+	RouterLatency float64
+	// Efficiency is the payload fraction of nominal link rates
+	// (Ethernet+IP+TCP header overhead: ~0.941 for 1500-byte MTU).
+	Efficiency float64
+	// MSS is the TCP maximum segment size in bytes.
+	MSS float64
+	// InitialWindow is the initial congestion window in segments
+	// (3 on Linux 2.6.32).
+	InitialWindow float64
+	// MaxWindow is the maximum TCP window in bytes (4194304 per the
+	// paper's sysctl tuning).
+	MaxWindow float64
+	// RTTFairness is the exponent a in share weight = RTT^-a. Loss-based
+	// CUBIC is less RTT-unfair than the 1/RTT fluid model; 0.5 is a
+	// reasonable middle ground.
+	RTTFairness float64
+	// BurstBytes is the transfer size below which a flow rides the
+	// switch and NIC buffers at line rate without fluid sharing: a
+	// 100 KB transfer fits entirely in 2012-era datacenter switch
+	// buffers, so concurrent small flows do not rate-limit each other
+	// the way sustained streams do.
+	BurstBytes float64
+	// RateJitterSigma is the lognormal sigma applied to the data phase
+	// of each measured duration (link-level variability).
+	RateJitterSigma float64
+	// Seed seeds the run's random stream.
+	Seed int64
+}
+
+// DefaultConfig returns the calibrated Grid'5000 emulation profile.
+func DefaultConfig() Config {
+	return Config{
+		Classes: map[string]NodeClass{
+			// 2004-era dual Opteron (sagittaire, capricorne, chuque):
+			// slow interrupt path, expensive process management. The
+			// tens-of-milliseconds overhead dominates small iperf runs.
+			"opteron2004": {HostLatency: 60e-6, OverheadMean: 35e-3, OverheadSigma: 0.45},
+			// 2006-era Opteron (chicon, chti).
+			"opteron2006": {HostLatency: 45e-6, OverheadMean: 12e-3, OverheadSigma: 0.40},
+			// 2009-era Xeon (griffon, chinqchint).
+			"xeon2009": {HostLatency: 30e-6, OverheadMean: 0.8e-3, OverheadSigma: 0.35},
+			// 2010-era Xeon (graphene): fast end hosts, sub-millisecond
+			// overhead.
+			"xeon2010": {HostLatency: 25e-6, OverheadMean: 0.4e-3, OverheadSigma: 0.35},
+		},
+		DefaultClass:    NodeClass{HostLatency: 40e-6, OverheadMean: 5e-3, OverheadSigma: 0.4},
+		SwitchLatency:   5e-6,
+		RouterLatency:   20e-6,
+		Efficiency:      0.941,
+		MSS:             1448,
+		InitialWindow:   3,
+		MaxWindow:       4194304,
+		RTTFairness:     0.5,
+		BurstBytes:      4e5,
+		RateJitterSigma: 0.03,
+		Seed:            1,
+	}
+}
+
+// class returns the profile for a class name.
+func (c Config) class(name string) NodeClass {
+	if nc, ok := c.Classes[name]; ok {
+		return nc
+	}
+	return c.DefaultClass
+}
+
+// overhead samples the application overhead for a node class.
+func (c Config) overhead(nc NodeClass, rng *stats.RNG) float64 {
+	return rng.Jitter(nc.OverheadMean, nc.OverheadSigma)
+}

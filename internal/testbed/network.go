@@ -1,0 +1,263 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pilgrim/internal/g5k"
+)
+
+// resource is one directed capacity-limited element of the real network:
+// a NIC transmit or receive side, an uplink direction, or a backbone
+// segment direction. Real Ethernet is full duplex, so every physical link
+// contributes two independent resources.
+type resource struct {
+	id       string
+	capacity float64 // payload bytes/s (nominal × efficiency)
+}
+
+// hop is one traversal of a resource with its one-way latency
+// contribution.
+type hop struct {
+	res *resource
+	lat float64
+}
+
+// network is the resolved physical topology: per-node attachment, per-
+// equipment forwarding latency, and path computation between nodes.
+type network struct {
+	cfg Config
+	ref *g5k.Reference
+
+	resources map[string]*resource
+
+	// per-node info
+	nodes map[string]*nodeInfo // key: FQDN
+}
+
+type nodeInfo struct {
+	fqdn    string
+	site    string
+	cluster string
+	class   NodeClass
+	sw      string // equipment uid
+	gw      string // site gateway uid
+	nicTx   *resource
+	nicRx   *resource
+	upTx    *resource // towards gateway, nil if plugged into it
+	upRx    *resource
+	upLat   float64 // one-way latency of the switch stage (0 if none)
+}
+
+// newNetwork indexes the reference into a physical network.
+func newNetwork(ref *g5k.Reference, cfg Config) (*network, error) {
+	if err := ref.Validate(); err != nil {
+		return nil, fmt.Errorf("testbed: invalid reference: %w", err)
+	}
+	n := &network{
+		cfg:       cfg,
+		ref:       ref,
+		resources: make(map[string]*resource),
+		nodes:     make(map[string]*nodeInfo),
+	}
+	for _, siteID := range ref.SiteIDs() {
+		site := ref.Sites[siteID]
+		// Uplink resources per aggregation switch.
+		for _, eqID := range sortedEqIDs(site) {
+			eq := site.Equipment[eqID]
+			for _, up := range eq.Uplinks {
+				if up.To != site.Gateway {
+					continue
+				}
+				n.getResource("up:"+siteID+":"+eqID+":tx", up.RateBps/8*cfg.Efficiency)
+				n.getResource("up:"+siteID+":"+eqID+":rx", up.RateBps/8*cfg.Efficiency)
+			}
+		}
+		for _, cid := range site.ClusterIDs() {
+			cluster := site.Clusters[cid]
+			class := cfg.class(cluster.NodeClass)
+			for _, nid := range cluster.NodeIDs() {
+				node := cluster.Nodes[nid]
+				itf := node.Interfaces[0]
+				fqdn := g5k.FQDN(nid, siteID)
+				info := &nodeInfo{
+					fqdn:    fqdn,
+					site:    siteID,
+					cluster: cid,
+					class:   class,
+					sw:      itf.Switch,
+					gw:      site.Gateway,
+				}
+				cap := itf.RateBps / 8 * cfg.Efficiency
+				info.nicTx = n.getResource("nic:"+fqdn+":tx", cap)
+				info.nicRx = n.getResource("nic:"+fqdn+":rx", cap)
+				if itf.Switch != site.Gateway {
+					info.upTx = n.resources["up:"+siteID+":"+itf.Switch+":tx"]
+					info.upRx = n.resources["up:"+siteID+":"+itf.Switch+":rx"]
+					if info.upTx == nil {
+						return nil, fmt.Errorf("testbed: node %s behind %s with no uplink to gateway", fqdn, itf.Switch)
+					}
+					info.upLat = cfg.SwitchLatency
+				}
+				n.nodes[fqdn] = info
+			}
+		}
+	}
+	// Backbone resources.
+	for _, b := range ref.Backbone {
+		n.getResource("bb:"+b.ID+":fwd", b.RateBps/8*cfg.Efficiency)
+		n.getResource("bb:"+b.ID+":rev", b.RateBps/8*cfg.Efficiency)
+	}
+	return n, nil
+}
+
+func sortedEqIDs(s *g5k.Site) []string {
+	out := make([]string, 0, len(s.Equipment))
+	for id := range s.Equipment {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (n *network) getResource(id string, capacity float64) *resource {
+	if r, ok := n.resources[id]; ok {
+		return r
+	}
+	r := &resource{id: id, capacity: capacity}
+	n.resources[id] = r
+	return r
+}
+
+// path computes the physical hop sequence and one-way latency between two
+// nodes. The real path mirrors the structural route of the platform model
+// but with full-duplex resources and hardware latencies.
+func (n *network) path(src, dst string) ([]hop, error) {
+	a, ok := n.nodes[src]
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown node %q", src)
+	}
+	b, ok := n.nodes[dst]
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown node %q", dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("testbed: transfer from %q to itself", src)
+	}
+
+	var hops []hop
+	// Sender NIC.
+	hops = append(hops, hop{res: a.nicTx, lat: a.class.HostLatency})
+
+	if a.site == b.site {
+		if a.sw == b.sw {
+			// Same switch: one forwarding stage.
+			lat := n.cfg.SwitchLatency
+			if a.sw == a.gw {
+				lat = n.cfg.RouterLatency
+			}
+			hops = append(hops, hop{res: b.nicRx, lat: lat + b.class.HostLatency})
+			return hops, nil
+		}
+		// Through the site router, possibly via aggregation uplinks.
+		if a.upTx != nil {
+			hops = append(hops, hop{res: a.upTx, lat: a.upLat})
+		}
+		if b.upRx != nil {
+			hops = append(hops, hop{res: b.upRx, lat: n.cfg.RouterLatency})
+			hops = append(hops, hop{res: b.nicRx, lat: b.upLat + b.class.HostLatency})
+		} else {
+			hops = append(hops, hop{res: b.nicRx, lat: n.cfg.RouterLatency + b.class.HostLatency})
+		}
+		return hops, nil
+	}
+
+	// Cross-site: out through a's site, across the backbone, into b's.
+	if a.upTx != nil {
+		hops = append(hops, hop{res: a.upTx, lat: a.upLat})
+	}
+	bbHops, err := n.backbonePath(a.gw, b.gw)
+	if err != nil {
+		return nil, err
+	}
+	first := true
+	for _, bh := range bbHops {
+		lat := bh.lat
+		if first {
+			lat += n.cfg.RouterLatency // egress through a's site router
+			first = false
+		}
+		hops = append(hops, hop{res: bh.res, lat: lat})
+	}
+	if b.upRx != nil {
+		hops = append(hops, hop{res: b.upRx, lat: n.cfg.RouterLatency})
+		hops = append(hops, hop{res: b.nicRx, lat: b.upLat + b.class.HostLatency})
+	} else {
+		hops = append(hops, hop{res: b.nicRx, lat: n.cfg.RouterLatency + b.class.HostLatency})
+	}
+	return hops, nil
+}
+
+// backbonePath finds the segment path between two gateways (BFS over the
+// tiny backbone graph) with real measured latencies.
+func (n *network) backbonePath(from, to string) ([]hop, error) {
+	type edge struct {
+		to  string
+		hop hop
+	}
+	adj := make(map[string][]edge)
+	for _, b := range n.ref.Backbone {
+		fwd := n.resources["bb:"+b.ID+":fwd"]
+		rev := n.resources["bb:"+b.ID+":rev"]
+		adj[b.From] = append(adj[b.From], edge{to: b.To, hop: hop{res: fwd, lat: b.LatencyS}})
+		adj[b.To] = append(adj[b.To], edge{to: b.From, hop: hop{res: rev, lat: b.LatencyS}})
+	}
+	type state struct {
+		node string
+		path []hop
+	}
+	visited := map[string]bool{from: true}
+	queue := []state{{node: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.node == to {
+			return cur.path, nil
+		}
+		for _, e := range adj[cur.node] {
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			next := make([]hop, len(cur.path), len(cur.path)+1)
+			copy(next, cur.path)
+			next = append(next, e.hop)
+			queue = append(queue, state{node: e.to, path: next})
+		}
+	}
+	return nil, fmt.Errorf("testbed: no backbone path %s -> %s", from, to)
+}
+
+// pathLatency sums the one-way latency of a hop sequence.
+func pathLatency(hops []hop) float64 {
+	total := 0.0
+	for _, h := range hops {
+		total += h.lat
+	}
+	return total
+}
+
+// nodeInfoOf exposes node lookup for the Testbed façade.
+func (n *network) nodeInfoOf(fqdn string) (*nodeInfo, error) {
+	info, ok := n.nodes[fqdn]
+	if !ok {
+		// Help users who pass short uids.
+		if !strings.Contains(fqdn, ".") {
+			return nil, fmt.Errorf("testbed: unknown node %q (use fully qualified names, e.g. %q)",
+				fqdn, fqdn+".<site>.grid5000.fr")
+		}
+		return nil, fmt.Errorf("testbed: unknown node %q", fqdn)
+	}
+	return info, nil
+}
