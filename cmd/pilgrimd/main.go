@@ -5,6 +5,7 @@
 //
 //	pilgrimd [-addr :8080] [-g5k-api URL] [-rrd-tree DIR]
 //	         [-gamma-latfactor] [-equipment-limits] [-measured-latencies]
+//	         [-forecast-cache N]
 //
 // Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
 // reference description — fetched from a reference API server when
@@ -34,15 +35,16 @@ func main() {
 	gammaLat := flag.Bool("gamma-latfactor", false, "apply the latency correction factor inside the TCP window bound (reproduces the paper's worked example)")
 	equipLimits := flag.Bool("equipment-limits", false, "model network equipment backplane limits (future-work extension)")
 	measuredLat := flag.Bool("measured-latencies", false, "use measured backbone latencies instead of the hardcoded 2.25e-3 s (future-work extension)")
+	cacheSize := flag.Int("forecast-cache", pilgrim.DefaultForecastCacheSize, "forecast cache capacity in distinct queries (0 disables caching)")
 	flag.Parse()
 
-	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat); err != nil {
+	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat, *cacheSize); err != nil {
 		fmt.Fprintln(os.Stderr, "pilgrimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool) error {
+func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, cacheSize int) error {
 	ref := g5k.Default()
 	if g5kAPI != "" {
 		fetched, err := g5k.Fetch(nil, g5kAPI)
@@ -82,6 +84,10 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool) 
 		log.Printf("serving %d metrics from %s", len(metrics.Paths()), rrdTree)
 	}
 
-	log.Printf("pilgrimd listening on %s", addr)
-	return http.ListenAndServe(addr, pilgrim.NewServer(registry, metrics))
+	server := pilgrim.NewServer(registry, metrics)
+	if cacheSize != pilgrim.DefaultForecastCacheSize {
+		server.SetForecastCache(cacheSize)
+	}
+	log.Printf("pilgrimd listening on %s (forecast cache: %d entries)", addr, cacheSize)
+	return http.ListenAndServe(addr, server)
 }

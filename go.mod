@@ -1,0 +1,3 @@
+module pilgrim
+
+go 1.22

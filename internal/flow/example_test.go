@@ -29,3 +29,35 @@ func ExampleSystem_Solve() {
 	// far:  20 MB/s
 	// link saturated: true
 }
+
+// The incremental API: one long-lived system where flows come and go.
+// Re-solving after a mutation touches only the components the change
+// disturbed — here removing a flow from the saturated link re-solves
+// that link's flows, while the flow on the other link keeps its
+// allocation without being recomputed.
+func ExampleSystem_RemoveVariable() {
+	s := flow.NewSystem()
+	shared := s.NewConstraint("shared", 100e6)
+	other := s.NewConstraint("other", 10e6)
+
+	f1 := s.AddVariable("f1", 1, 0, shared)
+	f2 := s.AddVariable("f2", 1, 0, shared)
+	lone := s.AddVariable("lone", 1, 0, other)
+	if err := s.Solve(); err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Printf("f1: %.0f MB/s, lone: %.0f MB/s (touched %d)\n",
+		f1.Rate()/1e6, lone.Rate()/1e6, s.LastTouched())
+
+	s.RemoveVariable(f2) // f2 completes: its bandwidth goes back to f1
+	if err := s.Solve(); err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Printf("f1: %.0f MB/s, lone: %.0f MB/s (touched %d)\n",
+		f1.Rate()/1e6, lone.Rate()/1e6, s.LastTouched())
+	// Output:
+	// f1: 50 MB/s, lone: 10 MB/s (touched 3)
+	// f1: 100 MB/s, lone: 10 MB/s (touched 1)
+}

@@ -20,6 +20,18 @@
 //     increased without decreasing that of a variable with an equal or
 //     smaller rate-to-weight ratio.
 //
+// A System is persistent and mutable: variables enter with AddVariable (or
+// NewVariable plus Attach) and leave with RemoveVariable, while constraint
+// membership survives across solves. Solve is incremental — it tracks
+// which variables and constraints changed since the previous solve and
+// re-solves only the part of the system reachable from them through
+// shared constraints (transitively, i.e. the affected connected
+// components). Flows in untouched components keep their previous
+// allocation bit-for-bit. This mirrors SimGrid's lazy partial invalidation
+// of the max-min system (Casanova et al., arXiv:1309.1630) and is what
+// lets the simulation kernel pay per event only for the flows an event
+// actually disturbs.
+//
 // RTT-awareness is achieved by the caller setting each flow's weight to
 // 1/RTT: on a shared bottleneck, flows then receive bandwidth inversely
 // proportional to their round-trip time, which is the empirically observed
@@ -30,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Variable is one entity competing for capacity — in the network model,
@@ -41,6 +54,11 @@ type Variable struct {
 	value  float64
 	cnsts  []*Constraint
 	fixed  bool
+
+	sys    *System // owning system, nil once removed
+	index  int     // position in sys.vars, for O(1) removal
+	serial uint64  // creation order, for deterministic solve order
+	mark   uint64  // dirty-closure epoch stamp (scratch)
 }
 
 // ID returns the identifier given at creation.
@@ -65,6 +83,11 @@ type Constraint struct {
 	capacity float64
 	vars     []*Variable
 	used     float64
+
+	serial    uint64  // creation order, for deterministic solve order
+	mark      uint64  // dirty-closure epoch stamp (scratch)
+	remaining float64 // residual capacity during a solve (scratch)
+	unfixed   int     // unfixed crossing variables during a solve (scratch)
 }
 
 // ID returns the identifier given at creation.
@@ -89,23 +112,43 @@ func (c *Constraint) Saturated() bool {
 
 // System holds variables and constraints and computes allocations.
 // The zero value is not usable; use NewSystem.
+//
+// The system is long-lived: callers mutate it (AddVariable,
+// RemoveVariable, Attach) between solves, and each Solve re-solves only
+// the components disturbed since the previous one.
 type System struct {
 	vars   []*Variable
 	cnsts  []*Constraint
 	solved bool
+	epoch  uint64
+	serial uint64 // next creation serial
+
+	// Dirty bookkeeping between solves. allDirty forces a full solve
+	// (initial state). dirtyVars/dirtyCnsts seed the affected-component
+	// closure; they may contain duplicates or removed variables, both
+	// filtered during closure.
+	allDirty   bool
+	dirtyVars  []*Variable
+	dirtyCnsts []*Constraint
+
+	// Solver work statistics.
+	solves       int
+	lastTouched  int
+	totalTouched int
+	touched      []*Variable // variables re-solved by the last Solve
 }
 
 // NewSystem returns an empty system.
-func NewSystem() *System { return &System{} }
+func NewSystem() *System { return &System{allDirty: true} }
 
 // NewConstraint adds a resource with the given capacity (must be >= 0).
 func (s *System) NewConstraint(id string, capacity float64) *Constraint {
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Errorf("flow: constraint %q has invalid capacity %v", id, capacity))
 	}
-	c := &Constraint{id: id, capacity: capacity}
+	c := &Constraint{id: id, capacity: capacity, serial: s.serial}
+	s.serial++
 	s.cnsts = append(s.cnsts, c)
-	s.solved = false
 	return c
 }
 
@@ -118,10 +161,74 @@ func (s *System) NewVariable(id string, weight, bound float64) *Variable {
 	if bound <= 0 || math.IsNaN(bound) {
 		bound = math.Inf(1)
 	}
-	v := &Variable{id: id, weight: weight, bound: bound}
+	v := &Variable{id: id, weight: weight, bound: bound, sys: s, index: len(s.vars), serial: s.serial}
+	s.serial++
 	s.vars = append(s.vars, v)
+	s.dirtyVars = append(s.dirtyVars, v)
 	s.solved = false
 	return v
+}
+
+// AddVariable creates a flow and attaches it to the given constraints in
+// one call — the entry point of the incremental API. It panics if the
+// weight is invalid or if the same constraint is passed twice (which
+// would double-count the flow on that resource).
+func (s *System) AddVariable(id string, weight, bound float64, cnsts ...*Constraint) *Variable {
+	v := s.NewVariable(id, weight, bound)
+	for _, c := range cnsts {
+		s.MustAttach(v, c)
+	}
+	return v
+}
+
+// RemoveVariable withdraws a flow from the system: it is detached from
+// every constraint it crosses, and the capacity it held becomes available
+// to the remaining flows at the next Solve. Removing a variable that does
+// not belong to this system (or was already removed) panics.
+func (s *System) RemoveVariable(v *Variable) {
+	if v.sys != s {
+		panic(fmt.Errorf("flow: variable %q is not in this system", v.id))
+	}
+	for _, c := range v.cnsts {
+		for i, w := range c.vars {
+			if w == v {
+				// Ordered removal keeps c.vars in attachment order, so
+				// weight summations visit the survivors in the same order
+				// a from-scratch build would.
+				c.vars = append(c.vars[:i], c.vars[i+1:]...)
+				break
+			}
+		}
+		s.dirtyCnsts = append(s.dirtyCnsts, c)
+	}
+	last := len(s.vars) - 1
+	s.vars[v.index] = s.vars[last]
+	s.vars[v.index].index = v.index
+	s.vars[last] = nil
+	s.vars = s.vars[:last]
+	v.sys = nil
+	v.cnsts = nil
+	s.solved = false
+}
+
+// SetBound changes the rate bound of a live variable (bound <= 0 means
+// unbounded, as in NewVariable). Setting a bound equal to the current one
+// is a no-op and does not dirty the variable's component — callers can
+// blindly re-assert bounds every event and only actual changes trigger
+// re-solving. Panics if the variable is not in this system.
+func (s *System) SetBound(v *Variable, bound float64) {
+	if v.sys != s {
+		panic(fmt.Errorf("flow: variable %q is not in this system", v.id))
+	}
+	if bound <= 0 || math.IsNaN(bound) {
+		bound = math.Inf(1)
+	}
+	if bound == v.bound {
+		return
+	}
+	v.bound = bound
+	s.dirtyVars = append(s.dirtyVars, v)
+	s.solved = false
 }
 
 // Attach declares that variable v consumes capacity on constraint c.
@@ -135,6 +242,7 @@ func (s *System) Attach(v *Variable, c *Constraint) error {
 	}
 	v.cnsts = append(v.cnsts, c)
 	c.vars = append(c.vars, v)
+	s.dirtyVars = append(s.dirtyVars, v)
 	s.solved = false
 	return nil
 }
@@ -157,35 +265,84 @@ func (s *System) Constraints() []*Constraint { return s.cnsts }
 // constraint and has no rate bound: its max-min rate would be infinite.
 var ErrUnboundedVariable = errors.New("flow: variable with no constraint and no bound")
 
-// Solve computes the weighted max-min allocation. It may be called again
-// after adding variables or constraints; allocations are recomputed from
-// scratch (the systems built by the simulator are small enough that
-// incremental solving is unnecessary).
+// Solve computes the weighted max-min allocation. Solving is incremental:
+// only the connected components containing a variable added, attached or
+// removed since the previous Solve are recomputed, and every other
+// variable keeps its previous rate unchanged. Calling Solve on an
+// already-solved system is a no-op.
 func (s *System) Solve() error {
-	// Reset state from any previous solve.
-	for _, v := range s.vars {
-		v.fixed = false
-		v.value = 0
+	if s.solved {
+		return nil
 	}
-	for _, c := range s.cnsts {
-		c.used = 0
+	s.solves++
+
+	// Gather the dirty sub-system: every variable and constraint reachable
+	// from a mutation seed through shared constraints. Collection happens
+	// during the closure traversal itself (so the cost is proportional to
+	// the dirty set, not the whole system) and is then sorted by creation
+	// serial so the solve visits resources in a stable order.
+	var dirtyV []*Variable
+	var dirtyC []*Constraint
+	if s.allDirty {
+		dirtyV = s.vars
+		dirtyC = s.cnsts
+	} else {
+		s.epoch++
+		stack := make([]*Constraint, 0, len(s.dirtyCnsts))
+		markC := func(c *Constraint) {
+			if c.mark != s.epoch {
+				c.mark = s.epoch
+				dirtyC = append(dirtyC, c)
+				stack = append(stack, c)
+			}
+		}
+		markV := func(v *Variable) {
+			if v.mark != s.epoch {
+				v.mark = s.epoch
+				dirtyV = append(dirtyV, v)
+				for _, c := range v.cnsts {
+					markC(c)
+				}
+			}
+		}
+		for _, v := range s.dirtyVars {
+			if v.sys == s { // skip variables removed after being added
+				markV(v)
+			}
+		}
+		for _, c := range s.dirtyCnsts {
+			markC(c)
+		}
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range c.vars {
+				markV(v)
+			}
+		}
+		sort.Slice(dirtyC, func(i, j int) bool { return dirtyC[i].serial < dirtyC[j].serial })
+		sort.Slice(dirtyV, func(i, j int) bool { return dirtyV[i].serial < dirtyV[j].serial })
 	}
 
-	remaining := make(map[*Constraint]float64, len(s.cnsts))
-	unfixedCount := make(map[*Constraint]int, len(s.cnsts))
-	for _, c := range s.cnsts {
-		remaining[c] = c.capacity
-		unfixedCount[c] = len(c.vars)
-	}
-
-	unfixed := 0
-	for _, v := range s.vars {
+	for _, v := range dirtyV {
 		if len(v.cnsts) == 0 && math.IsInf(v.bound, 1) {
 			return fmt.Errorf("%w: %q", ErrUnboundedVariable, v.id)
 		}
-		unfixed++
 	}
 
+	// Reset the dirty sub-system. By closure, every variable crossing a
+	// dirty constraint is itself dirty, so capacities restart from full.
+	for _, v := range dirtyV {
+		v.fixed = false
+		v.value = 0
+	}
+	for _, c := range dirtyC {
+		c.remaining = c.capacity
+		c.unfixed = len(c.vars)
+		c.used = 0
+	}
+
+	unfixed := len(dirtyV)
 	for unfixed > 0 {
 		// Find the minimal fill level λ* at which something saturates.
 		// For constraint c: λ_c = remaining_c / Σ weights of unfixed vars.
@@ -196,8 +353,8 @@ func (s *System) Solve() error {
 		lambda := math.Inf(1)
 		var satCnst *Constraint
 		var satVar *Variable
-		for _, c := range s.cnsts {
-			if unfixedCount[c] == 0 {
+		for _, c := range dirtyC {
+			if c.unfixed == 0 {
 				continue // no unfixed variable crosses c
 			}
 			w := 0.0
@@ -206,12 +363,12 @@ func (s *System) Solve() error {
 					w += v.weight
 				}
 			}
-			l := remaining[c] / w
+			l := c.remaining / w
 			if l < lambda {
 				lambda, satCnst, satVar = l, c, nil
 			}
 		}
-		for _, v := range s.vars {
+		for _, v := range dirtyV {
 			if v.fixed || math.IsInf(v.bound, 1) {
 				continue
 			}
@@ -226,7 +383,7 @@ func (s *System) Solve() error {
 			// unbounded through constraints with zero unfixed weight.
 			// This cannot happen because every unfixed variable either has
 			// a bound (covered above) or crosses a constraint whose
-			// unfixedWeight includes its own positive weight.
+			// unfixed weight includes its own positive weight.
 			return errors.New("flow: internal error: no saturating resource found")
 		}
 
@@ -235,11 +392,11 @@ func (s *System) Solve() error {
 			v.value = rate
 			unfixed--
 			for _, c := range v.cnsts {
-				remaining[c] -= rate
-				if remaining[c] < 0 {
-					remaining[c] = 0
+				c.remaining -= rate
+				if c.remaining < 0 {
+					c.remaining = 0
 				}
-				unfixedCount[c]--
+				c.unfixed--
 				c.used += rate
 			}
 		}
@@ -256,10 +413,38 @@ func (s *System) Solve() error {
 			}
 		}
 	}
+
+	s.lastTouched = len(dirtyV)
+	s.totalTouched += len(dirtyV)
+	s.touched = dirtyV
+	s.dirtyVars = s.dirtyVars[:0]
+	s.dirtyCnsts = s.dirtyCnsts[:0]
+	s.allDirty = false
 	s.solved = true
 	return nil
 }
 
+// Touched returns the variables re-solved by the most recent effective
+// Solve — the only variables whose Rate may have changed. The slice is
+// valid until the next mutation or Solve; callers that update derived
+// state (the simulation engines copying rates) iterate it instead of
+// every variable.
+func (s *System) Touched() []*Variable { return s.touched }
+
 // Solved reports whether the system has been solved since its last
 // structural modification.
 func (s *System) Solved() bool { return s.solved }
+
+// Solves returns how many times Solve actually recomputed allocations
+// (no-op calls on an already-solved system are not counted).
+func (s *System) Solves() int { return s.solves }
+
+// LastTouched returns the number of variables re-solved by the most
+// recent effective Solve — the size of the disturbed components.
+func (s *System) LastTouched() int { return s.lastTouched }
+
+// TotalTouched returns the cumulative number of variables re-solved
+// across all effective solves; with a from-scratch solver this would be
+// Σ (system size at each solve), so the ratio of the two measures the
+// work saved by incrementality.
+func (s *System) TotalTouched() int { return s.totalTouched }

@@ -1,0 +1,183 @@
+package pilgrim
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ForecastCache memoizes PNFS predictions behind a bounded LRU. A
+// prediction is a pure function of (platform, transfer multiset,
+// background-flow multiset): transfers all depart at simulated time 0, so
+// two requests that differ only in parameter order are the same
+// simulation. The cache canonicalizes requests before keying, runs the
+// simulation in canonical order on a miss, and permutes cached answers
+// back to request order on a hit — repeated scheduler queries (the
+// paper's RMS polling pattern) skip simulation entirely.
+type ForecastCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+// cacheEntry is one memoized answer, predictions in canonical order.
+type cacheEntry struct {
+	key   string
+	preds []Prediction
+}
+
+// NewForecastCache returns a cache holding up to capacity distinct
+// queries. A capacity <= 0 disables caching: every Predict simulates and
+// counts as a miss.
+func NewForecastCache(capacity int) *ForecastCache {
+	return &ForecastCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// CacheStats is the hit/miss accounting surfaced by the server.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (fc *ForecastCache) Stats() CacheStats {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return CacheStats{Hits: fc.hits, Misses: fc.misses, Size: fc.lru.Len(), Capacity: fc.capacity}
+}
+
+// canonicalize returns the indices of transfers sorted by (Src, Dst,
+// Size) — the canonical simulation order.
+func canonicalize(transfers []TransferRequest) []int {
+	order := make([]int, len(transfers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := transfers[order[a]], transfers[order[b]]
+		if ta.Src != tb.Src {
+			return ta.Src < tb.Src
+		}
+		if ta.Dst != tb.Dst {
+			return ta.Dst < tb.Dst
+		}
+		return ta.Size < tb.Size
+	})
+	return order
+}
+
+// cacheKey builds the canonical lookup key. Sizes are keyed by their
+// exact bit pattern so no two distinct workloads collide, and the
+// platform/config identity of the entry is part of the key so two
+// different entries registered under the same name (e.g. the same
+// platform with a different model configuration) never share answers.
+func cacheKey(platform string, entry PlatformEntry, transfers []TransferRequest, order []int, background [][2]string) string {
+	var b strings.Builder
+	b.WriteString(platform)
+	fmt.Fprintf(&b, "\x1c%p\x1c%+v", entry.Platform, entry.Config)
+	for _, i := range order {
+		t := transfers[i]
+		b.WriteByte(0x1e)
+		b.WriteString(t.Src)
+		b.WriteByte(0x1f)
+		b.WriteString(t.Dst)
+		b.WriteByte(0x1f)
+		b.WriteString(strconv.FormatUint(math.Float64bits(t.Size), 16))
+	}
+	bg := make([]string, len(background))
+	for i, p := range background {
+		bg[i] = p[0] + "\x1f" + p[1]
+	}
+	sort.Strings(bg)
+	for _, p := range bg {
+		b.WriteByte(0x1d)
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// Predict answers a PNFS request through the cache: platform names the
+// entry (it is the cache key namespace), and the remaining arguments
+// mirror PredictTransfers. Predictions are returned in request order.
+func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers []TransferRequest, background [][2]string) ([]Prediction, error) {
+	if len(transfers) == 0 {
+		return nil, fmt.Errorf("pilgrim: no transfers requested")
+	}
+	order := canonicalize(transfers)
+	key := cacheKey(platform, entry, transfers, order, background)
+
+	if fc.capacity > 0 {
+		fc.mu.Lock()
+		if el, ok := fc.entries[key]; ok {
+			fc.lru.MoveToFront(el)
+			canonical := el.Value.(*cacheEntry).preds
+			fc.hits++
+			fc.mu.Unlock()
+			return reorder(canonical, order), nil
+		}
+		fc.misses++
+		fc.mu.Unlock()
+	} else {
+		fc.mu.Lock()
+		fc.misses++
+		fc.mu.Unlock()
+	}
+
+	// Simulate in canonical order so a given logical workload always
+	// produces a bit-identical answer regardless of parameter order.
+	canonicalReq := make([]TransferRequest, len(transfers))
+	for pos, i := range order {
+		canonicalReq[pos] = transfers[i]
+	}
+	canonical, err := PredictTransfers(entry, canonicalReq, background)
+	if err != nil {
+		return nil, err
+	}
+
+	if fc.capacity > 0 {
+		fc.mu.Lock()
+		if _, ok := fc.entries[key]; !ok { // concurrent request may have filled it
+			fc.entries[key] = fc.lru.PushFront(&cacheEntry{key: key, preds: canonical})
+			for fc.lru.Len() > fc.capacity {
+				oldest := fc.lru.Back()
+				fc.lru.Remove(oldest)
+				delete(fc.entries, oldest.Value.(*cacheEntry).key)
+			}
+		}
+		fc.mu.Unlock()
+	}
+	return reorder(canonical, order), nil
+}
+
+// SelectFastest is SelectFastest routed through the cache: each
+// hypothesis is one cacheable prediction, so a scheduler polling the
+// same alternatives repeatedly pays for each simulation once.
+func (fc *ForecastCache) SelectFastest(platform string, entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	return selectFastest(hyps, func(transfers []TransferRequest) ([]Prediction, error) {
+		return fc.Predict(platform, entry, transfers, nil)
+	})
+}
+
+// reorder maps canonical-order predictions back to request order:
+// canonical[pos] answers the transfer that request index order[pos] asked
+// for.
+func reorder(canonical []Prediction, order []int) []Prediction {
+	out := make([]Prediction, len(canonical))
+	for pos, i := range order {
+		out[i] = canonical[pos]
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package pilgrim
+
+import (
+	"testing"
+
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/sim"
+)
+
+func miniEntry(t testing.TB) PlatformEntry {
+	t.Helper()
+	plat, err := platgen.Generate(g5k.Mini(), platgen.Options{Variant: platgen.G5KTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}
+}
+
+func TestForecastCacheHitsAndMisses(t *testing.T) {
+	entry := miniEntry(t)
+	fc := NewForecastCache(8)
+	reqs := []TransferRequest{
+		{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "graphene-1.nancy.grid5000.fr", Size: 5e8},
+		{Src: "sagittaire-2.lyon.grid5000.fr", Dst: "sagittaire-3.lyon.grid5000.fr", Size: 5e8},
+	}
+	first, err := fc.Predict("g5k_test", entry, reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := fc.Stats(); st.Hits != 0 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("after first query: %+v", st)
+	}
+	second, err := fc.Predict("g5k_test", entry, reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := fc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after repeat query: %+v", st)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("cached prediction %d differs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestForecastCacheCanonicalizesOrder(t *testing.T) {
+	entry := miniEntry(t)
+	fc := NewForecastCache(8)
+	a := TransferRequest{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "graphene-1.nancy.grid5000.fr", Size: 5e8}
+	b := TransferRequest{Src: "sagittaire-2.lyon.grid5000.fr", Dst: "sagittaire-3.lyon.grid5000.fr", Size: 5e8}
+
+	fwd, err := fc.Predict("g5k_test", entry, []TransferRequest{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := fc.Predict("g5k_test", entry, []TransferRequest{b, a}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The permuted request is the same simulation: it must hit, and each
+	// prediction must still answer its own request slot.
+	if st := fc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("permuted query did not hit: %+v", st)
+	}
+	if rev[0].Src != b.Src || rev[1].Src != a.Src {
+		t.Errorf("answers not in request order: %+v", rev)
+	}
+	if rev[0] != fwd[1] || rev[1] != fwd[0] {
+		t.Errorf("permuted answers differ: fwd=%+v rev=%+v", fwd, rev)
+	}
+}
+
+func TestForecastCacheKeysDistinguishWorkloads(t *testing.T) {
+	entry := miniEntry(t)
+	fc := NewForecastCache(8)
+	base := []TransferRequest{{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: 5e8}}
+	if _, err := fc.Predict("g5k_test", entry, base, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Different size, different platform name, and added background
+	// traffic must all be distinct cache entries.
+	bigger := []TransferRequest{{Src: base[0].Src, Dst: base[0].Dst, Size: 6e8}}
+	if _, err := fc.Predict("g5k_test", entry, bigger, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Predict("other_platform", entry, base, nil); err != nil {
+		t.Fatal(err)
+	}
+	bg := [][2]string{{"sagittaire-2.lyon.grid5000.fr", "sagittaire-3.lyon.grid5000.fr"}}
+	if _, err := fc.Predict("g5k_test", entry, base, bg); err != nil {
+		t.Fatal(err)
+	}
+	if st := fc.Stats(); st.Hits != 0 || st.Misses != 4 || st.Size != 4 {
+		t.Fatalf("distinct workloads collided: %+v", st)
+	}
+}
+
+func TestForecastCacheEviction(t *testing.T) {
+	entry := miniEntry(t)
+	fc := NewForecastCache(2)
+	mk := func(size float64) []TransferRequest {
+		return []TransferRequest{{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: size}}
+	}
+	for _, size := range []float64{1e8, 2e8, 3e8} {
+		if _, err := fc.Predict("g5k_test", entry, mk(size), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := fc.Stats(); st.Size != 2 {
+		t.Fatalf("size = %d, want capacity 2: %+v", st.Size, st)
+	}
+	// 1e8 was evicted (LRU); 3e8 still resident.
+	if _, err := fc.Predict("g5k_test", entry, mk(3e8), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Predict("g5k_test", entry, mk(1e8), nil); err != nil {
+		t.Fatal(err)
+	}
+	st := fc.Stats()
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Errorf("eviction accounting wrong: %+v", st)
+	}
+}
+
+func TestForecastCacheDisabled(t *testing.T) {
+	entry := miniEntry(t)
+	fc := NewForecastCache(0)
+	reqs := []TransferRequest{{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: 5e8}}
+	for i := 0; i < 2; i++ {
+		if _, err := fc.Predict("g5k_test", entry, reqs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := fc.Stats(); st.Hits != 0 || st.Misses != 2 || st.Size != 0 {
+		t.Errorf("disabled cache stored or hit: %+v", st)
+	}
+}
+
+func TestHTTPCacheStats(t *testing.T) {
+	_, client := newTestServer(t)
+	reqs := []TransferRequest{
+		{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: 5e8},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.PredictTransfers("g5k_test", reqs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("server cache stats = %+v, want 1 miss + 2 hits", st)
+	}
+	if st.Capacity != DefaultForecastCacheSize || st.Size != 1 {
+		t.Errorf("server cache geometry = %+v", st)
+	}
+}

@@ -125,6 +125,15 @@ func (c *Client) PredictWorkflow(platform string, wf *workflow.Workflow) (*workf
 	return &out, nil
 }
 
+// CacheStats fetches the server's forecast-cache hit/miss counters.
+func (c *Client) CacheStats() (CacheStats, error) {
+	var out CacheStats
+	if err := c.getJSON("/pilgrim/cache_stats", nil, &out); err != nil {
+		return CacheStats{}, err
+	}
+	return out, nil
+}
+
 // RRDPoint is one [timestamp, value] sample from the metrology service.
 type RRDPoint struct {
 	Timestamp int64

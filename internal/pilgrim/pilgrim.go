@@ -22,6 +22,11 @@
 //     alternative transfer hypotheses and returns the fastest;
 //   - the predict_transfers "bg=src,dst" parameter injects known
 //     background traffic into the simulation.
+//
+// PNFS answers are memoized by a bounded LRU ForecastCache keyed by the
+// canonicalized (platform, transfers, background) triple, so a resource
+// management system polling the same decision repeatedly pays for one
+// simulation; GET /pilgrim/cache_stats exposes the hit/miss counters.
 package pilgrim
 
 import (
@@ -146,13 +151,21 @@ type HypothesisResult struct {
 // (paper §VI: "given n different transfer hypotheses, select the fastest
 // one").
 func SelectFastest(entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	return selectFastest(hyps, func(transfers []TransferRequest) ([]Prediction, error) {
+		return PredictTransfers(entry, transfers, nil)
+	})
+}
+
+// selectFastest ranks hypotheses under any prediction backend (direct
+// simulation or the forecast cache).
+func selectFastest(hyps []Hypothesis, predict func([]TransferRequest) ([]Prediction, error)) (best int, results []HypothesisResult, err error) {
 	if len(hyps) == 0 {
 		return 0, nil, fmt.Errorf("pilgrim: no hypotheses")
 	}
 	results = make([]HypothesisResult, len(hyps))
 	best = -1
 	for i, h := range hyps {
-		preds, err := PredictTransfers(entry, h.Transfers, nil)
+		preds, err := predict(h.Transfers)
 		if err != nil {
 			return 0, nil, fmt.Errorf("pilgrim: hypothesis %d: %w", i, err)
 		}

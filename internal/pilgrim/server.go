@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pilgrim/internal/metrology"
@@ -15,17 +16,23 @@ import (
 	"pilgrim/internal/workflow"
 )
 
+// DefaultForecastCacheSize is the forecast cache capacity NewServer
+// installs; use SetForecastCache to change or disable it.
+const DefaultForecastCacheSize = 256
+
 // Server is the Pilgrim HTTP front end: the metrology RRD service and
 // PNFS, mounted under /pilgrim/ exactly as in the paper's examples.
 type Server struct {
 	platforms *Registry
 	metrics   *metrology.Registry
+	cache     atomic.Pointer[ForecastCache]
 	mux       *http.ServeMux
 }
 
 // NewServer builds a server over the given platform registry and metric
 // registry (either may be empty, disabling the respective service's
-// content).
+// content). Predictions go through a ForecastCache of
+// DefaultForecastCacheSize entries.
 func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 	if platforms == nil {
 		platforms = NewRegistry()
@@ -33,14 +40,28 @@ func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 	if metrics == nil {
 		metrics = metrology.NewRegistry()
 	}
-	s := &Server{platforms: platforms, metrics: metrics, mux: http.NewServeMux()}
+	s := &Server{
+		platforms: platforms,
+		metrics:   metrics,
+		mux:       http.NewServeMux(),
+	}
+	s.cache.Store(NewForecastCache(DefaultForecastCacheSize))
 	s.mux.HandleFunc("GET /pilgrim/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /pilgrim/predict_transfers/{platform}", s.handlePredict)
 	s.mux.HandleFunc("GET /pilgrim/select_fastest/{platform}", s.handleSelectFastest)
 	s.mux.HandleFunc("POST /pilgrim/predict_workflow/{platform}", s.handleWorkflow)
+	s.mux.HandleFunc("GET /pilgrim/cache_stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}/", s.handleRRD)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}", s.handleRRD)
 	return s
+}
+
+// SetForecastCache replaces the server's forecast cache with one of the
+// given capacity (capacity <= 0 disables caching). Safe to call while
+// serving: existing counters and entries are dropped, and concurrent
+// in-flight requests keep using the cache they started with.
+func (s *Server) SetForecastCache(capacity int) {
+	s.cache.Store(NewForecastCache(capacity))
 }
 
 // ServeHTTP implements http.Handler.
@@ -107,12 +128,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		background = append(background, [2]string{parts[0], parts[1]})
 	}
-	preds, err := PredictTransfers(entry, transfers, background)
+	preds, err := s.cache.Load().Predict(r.PathValue("platform"), entry, transfers, background)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, preds)
+}
+
+// handleCacheStats reports the forecast cache's hit/miss counters:
+//
+//	GET /pilgrim/cache_stats
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.cache.Load().Stats())
 }
 
 // handleSelectFastest implements the hypothesis-selection extension:
@@ -140,7 +168,7 @@ func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "at least one hypothesis parameter required", http.StatusBadRequest)
 		return
 	}
-	best, results, err := SelectFastest(entry, hyps)
+	best, results, err := s.cache.Load().SelectFastest(r.PathValue("platform"), entry, hyps)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

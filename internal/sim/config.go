@@ -3,9 +3,13 @@
 //
 // The simulation kernel is discrete-event: events are resource state
 // changes (a transfer starts, leaves its latency phase, or completes).
-// At each event the bandwidth sharing across all active flows is
-// re-evaluated with the weighted max-min solver of package flow, the date
-// of the next event is computed, and simulated time fast-forwards to it.
+// Bandwidth sharing lives in one long-lived max-min system (package
+// flow) owned by the Engine: an event inserts or removes just the flows
+// it concerns, and the incremental solver re-evaluates only the network
+// components those flows touch — everything else keeps its allocation.
+// The date of the next event is then computed and simulated time
+// fast-forwards to it. SharingStats reports how much solver work each
+// simulation actually did.
 //
 // The TCP model is the RTT-aware max-min fluid model of Casanova & Marchal
 // (INRIA RR-4596) with the corrective factors of Velho & Legrand

@@ -54,6 +54,12 @@ type activity struct {
 	// exec fields
 	host *platform.Host
 
+	// fv is the live flow-system variable while the activity is in
+	// phaseActive (nil for timers). It is inserted on activation and
+	// removed on completion, so the max-min system mutates incrementally
+	// instead of being rebuilt per event.
+	fv *flow.Variable
+
 	finished float64 // completion date, valid when phase == phaseDone
 	onDone   func(now float64)
 }
@@ -64,11 +70,21 @@ type Engine struct {
 	cfg  Config
 	plat *platform.Platform
 
-	now    float64
-	nextID ActivityID
-	acts   map[ActivityID]*activity
-	order  []ActivityID // deterministic iteration order
-	dirty  bool         // sharing must be recomputed
+	now         float64
+	nextID      ActivityID
+	acts        map[ActivityID]*activity
+	order       []ActivityID // deterministic iteration order over live activities
+	dirty       bool         // sharing must be recomputed
+	needCompact bool         // done activities await removal from order
+
+	// sys is the single long-lived max-min system of the simulation.
+	// Constraints (link directions, host CPUs) are created lazily on
+	// first use and kept forever; activity variables come and go as
+	// activities start and complete, and each resharing re-solves only
+	// the components those changes disturbed.
+	sys    *flow.System
+	cnsts  map[constraintKey]*flow.Constraint
+	varAct map[*flow.Variable]*activity // live variable -> owning activity
 
 	events int // sharing recomputations, for benchmarks
 }
@@ -77,9 +93,12 @@ type Engine struct {
 // model configuration.
 func NewEngine(plat *platform.Platform, cfg Config) *Engine {
 	return &Engine{
-		cfg:  cfg,
-		plat: plat,
-		acts: make(map[ActivityID]*activity),
+		cfg:    cfg,
+		plat:   plat,
+		acts:   make(map[ActivityID]*activity),
+		sys:    flow.NewSystem(),
+		cnsts:  make(map[constraintKey]*flow.Constraint),
+		varAct: make(map[*flow.Variable]*activity),
 	}
 }
 
@@ -89,6 +108,33 @@ func (e *Engine) Now() float64 { return e.now }
 // Resharings returns how many times bandwidth sharing was recomputed —
 // the cost driver of a simulation, reported by benchmarks.
 func (e *Engine) Resharings() int { return e.events }
+
+// SharingStats quantifies the solver work behind Resharings.
+type SharingStats struct {
+	// Resharings is the number of sharing recomputations (same as the
+	// Resharings method).
+	Resharings int
+	// VariablesTouched is the cumulative number of flow variables
+	// re-solved across all resharings. A rebuild-the-world solver would
+	// touch every active flow at every resharing; the ratio
+	// VariablesTouched / (Resharings × live flows) measures how much the
+	// incremental solver saves.
+	VariablesTouched int
+	// LastTouched is the number of variables re-solved by the most
+	// recent resharing — the size of the components the last event
+	// disturbed.
+	LastTouched int
+}
+
+// SharingStats returns the solver work statistics of the simulation so
+// far.
+func (e *Engine) SharingStats() SharingStats {
+	return SharingStats{
+		Resharings:       e.events,
+		VariablesTouched: e.sys.TotalTouched(),
+		LastTouched:      e.sys.LastTouched(),
+	}
+}
 
 // Platform returns the simulated platform.
 func (e *Engine) Platform() *platform.Platform { return e.plat }
@@ -151,7 +197,14 @@ func (e *Engine) RemoveBackgroundFlow(id ActivityID) error {
 	}
 	a.phase = phaseDone
 	a.finished = e.now
-	e.dirty = true
+	e.deactivate(a)
+	// Background flows never appear in Step's completed list, so request
+	// compaction — otherwise repeated add/remove churn would grow the
+	// scan list without bound. The compaction itself is deferred to the
+	// end of the next Step: this method may be called from an onDone
+	// callback while Step is ranging over e.order, and rewriting the
+	// backing array mid-iteration would corrupt that loop.
+	e.needCompact = true
 	return nil
 }
 
@@ -215,85 +268,100 @@ type constraintKey struct {
 	host *platform.Host
 }
 
-// reshare rebuilds and solves the max-min system for all active
-// activities.
-func (e *Engine) reshare() error {
-	e.events++
-	s := flow.NewSystem()
-	cnsts := make(map[constraintKey]*flow.Constraint)
-
-	constraintFor := func(k constraintKey, capacity float64) *flow.Constraint {
-		if c, ok := cnsts[k]; ok {
-			return c
-		}
-		id := "cpu:"
-		if k.host == nil {
-			id = k.link.ID + ":" + k.dir.String()
-		} else {
-			id += k.host.ID
-		}
-		c := s.NewConstraint(id, capacity)
-		cnsts[k] = c
+// constraintFor returns the persistent flow constraint for a shared
+// resource, creating it on first use.
+func (e *Engine) constraintFor(k constraintKey, capacity float64) *flow.Constraint {
+	if c, ok := e.cnsts[k]; ok {
 		return c
 	}
-
-	vars := make(map[ActivityID]*flow.Variable)
-	for _, id := range e.order {
-		a := e.acts[id]
-		if a.phase != phaseActive {
-			continue
-		}
-		switch a.kind {
-		case commActivity:
-			bound := a.bound
-			// Fatpipe links bound the flow without sharing.
-			for _, u := range a.links {
-				if u.Link.Policy == platform.Fatpipe {
-					cap := u.Link.Bandwidth * e.cfg.BandwidthFactor
-					if bound == 0 || cap < bound {
-						bound = cap
-					}
-				}
-			}
-			v := s.NewVariable(fmt.Sprintf("comm%d", a.id), a.weight, bound)
-			vars[a.id] = v
-			for _, u := range a.links {
-				switch u.Link.Policy {
-				case platform.Shared:
-					c := constraintFor(constraintKey{link: u.Link, dir: platform.None},
-						u.Link.Bandwidth*e.cfg.BandwidthFactor)
-					if err := s.Attach(v, c); err != nil {
-						// A route may legitimately traverse the same
-						// shared link twice only in pathological
-						// platforms; treat as single attachment.
-						continue
-					}
-				case platform.FullDuplex:
-					dir := u.Direction
-					if dir == platform.None {
-						dir = platform.Up
-					}
-					c := constraintFor(constraintKey{link: u.Link, dir: dir},
-						u.Link.Bandwidth*e.cfg.BandwidthFactor)
-					if err := s.Attach(v, c); err != nil {
-						continue
-					}
-				case platform.Fatpipe:
-					// handled via bound above
-				}
-			}
-		case execActivity:
-			v := s.NewVariable(fmt.Sprintf("exec%d", a.id), 1, 0)
-			vars[a.id] = v
-			c := constraintFor(constraintKey{host: a.host}, a.host.Speed)
-			s.MustAttach(v, c)
-		}
+	id := "cpu:"
+	if k.host == nil {
+		id = k.link.ID + ":" + k.dir.String()
+	} else {
+		id += k.host.ID
 	}
-	if err := s.Solve(); err != nil {
+	c := e.sys.NewConstraint(id, capacity)
+	e.cnsts[k] = c
+	return c
+}
+
+// activate inserts the activity's flow variable into the max-min system
+// (timers consume no resources and get none).
+func (e *Engine) activate(a *activity) {
+	switch a.kind {
+	case commActivity:
+		bound := a.bound
+		// Fatpipe links bound the flow without sharing.
+		for _, u := range a.links {
+			if u.Link.Policy == platform.Fatpipe {
+				cap := u.Link.Bandwidth * e.cfg.BandwidthFactor
+				if bound == 0 || cap < bound {
+					bound = cap
+				}
+			}
+		}
+		v := e.sys.NewVariable(fmt.Sprintf("comm%d", a.id), a.weight, bound)
+		a.fv = v
+		e.varAct[v] = a
+		for _, u := range a.links {
+			switch u.Link.Policy {
+			case platform.Shared:
+				c := e.constraintFor(constraintKey{link: u.Link, dir: platform.None},
+					u.Link.Bandwidth*e.cfg.BandwidthFactor)
+				if err := e.sys.Attach(v, c); err != nil {
+					// A route may legitimately traverse the same
+					// shared link twice only in pathological
+					// platforms; treat as single attachment.
+					continue
+				}
+			case platform.FullDuplex:
+				dir := u.Direction
+				if dir == platform.None {
+					dir = platform.Up
+				}
+				c := e.constraintFor(constraintKey{link: u.Link, dir: dir},
+					u.Link.Bandwidth*e.cfg.BandwidthFactor)
+				if err := e.sys.Attach(v, c); err != nil {
+					continue
+				}
+			case platform.Fatpipe:
+				// handled via bound above
+			}
+		}
+	case execActivity:
+		v := e.sys.NewVariable(fmt.Sprintf("exec%d", a.id), 1, 0)
+		a.fv = v
+		e.varAct[v] = a
+		c := e.constraintFor(constraintKey{host: a.host}, a.host.Speed)
+		e.sys.MustAttach(v, c)
+	}
+	e.dirty = true
+}
+
+// deactivate withdraws the activity's flow variable, releasing its
+// bandwidth to the components it crossed.
+func (e *Engine) deactivate(a *activity) {
+	if a.fv != nil {
+		delete(e.varAct, a.fv)
+		e.sys.RemoveVariable(a.fv)
+		a.fv = nil
+	}
+	e.dirty = true
+}
+
+// reshare re-solves bandwidth sharing after membership changes. Only the
+// flow components disturbed since the previous resharing are recomputed,
+// and only their rates are copied back; every other activity keeps its
+// allocation untouched.
+func (e *Engine) reshare() error {
+	e.events++
+	if err := e.sys.Solve(); err != nil {
 		return fmt.Errorf("sim: sharing: %w", err)
 	}
-	for id, v := range vars {
-		e.acts[id].rate = v.Rate()
+	for _, v := range e.sys.Touched() {
+		if a, ok := e.varAct[v]; ok {
+			a.rate = v.Rate()
+		}
 	}
 	e.dirty = false
 	return nil
@@ -382,7 +450,7 @@ func (e *Engine) Step() (completed []ActivityID, ok bool, err error) {
 					a.phase = phaseLatency
 				} else {
 					a.phase = phaseActive
-					e.dirty = true
+					e.activate(a)
 				}
 			}
 		case phaseLatency:
@@ -393,7 +461,7 @@ func (e *Engine) Step() (completed []ActivityID, ok bool, err error) {
 			if a.latLeft <= 1e-15+e.now*1e-12 {
 				a.latLeft = 0
 				a.phase = phaseActive
-				e.dirty = true
+				e.activate(a)
 			}
 		case phaseActive:
 			// Completion when the residue is below the absolute epsilon
@@ -405,7 +473,7 @@ func (e *Engine) Step() (completed []ActivityID, ok bool, err error) {
 				a.remaining = 0
 				a.phase = phaseDone
 				a.finished = e.now
-				e.dirty = true
+				e.deactivate(a)
 				completed = append(completed, a.id)
 				if a.onDone != nil {
 					a.onDone(e.now)
@@ -413,8 +481,25 @@ func (e *Engine) Step() (completed []ActivityID, ok bool, err error) {
 			}
 		}
 	}
+	if len(completed) > 0 || e.needCompact {
+		e.compactOrder()
+		e.needCompact = false
+	}
 	sort.Slice(completed, func(i, j int) bool { return completed[i] < completed[j] })
 	return completed, true, nil
+}
+
+// compactOrder drops completed activities from the iteration order so the
+// per-event scans stay proportional to the live activity count. The
+// activities themselves remain in the map for Done queries.
+func (e *Engine) compactOrder() {
+	live := e.order[:0]
+	for _, id := range e.order {
+		if e.acts[id].phase != phaseDone {
+			live = append(live, id)
+		}
+	}
+	e.order = live
 }
 
 // RunToCompletion steps the engine until no event remains. The returned

@@ -21,6 +21,47 @@ func TestResharingsCounted(t *testing.T) {
 	}
 }
 
+func TestSharingStatsIncremental(t *testing.T) {
+	// Two transfers on disjoint host pairs are independent components:
+	// when one completes, re-solving must touch only its own component,
+	// not the survivor.
+	p := platform.New("root", platform.RoutingFull)
+	as := p.Root()
+	for _, h := range []string{"a", "b", "c", "d"} {
+		as.AddHost(h, 1e9)
+	}
+	l1, _ := as.AddLink("l1", 100e6, 0, platform.Shared)
+	l2, _ := as.AddLink("l2", 50e6, 0, platform.Shared)
+	as.AddRoute("a", "b", []platform.LinkUse{{Link: l1, Direction: platform.None}}, true)
+	as.AddRoute("c", "d", []platform.LinkUse{{Link: l2, Direction: platform.None}}, true)
+	cfg := DefaultConfig()
+	cfg.TCPGamma = 0
+	e := NewEngine(p, cfg)
+	// Same size, but the c->d link is half as fast: a->b finishes first.
+	if _, err := e.AddComm("a", "b", 92e6, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddComm("c", "d", 92e6, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.SharingStats()
+	if st.Resharings != e.Resharings() {
+		t.Errorf("Resharings mismatch: %d vs %d", st.Resharings, e.Resharings())
+	}
+	// Initial solve touches both flows (2); the a->b completion re-solves
+	// only the empty remainder of its component plus nothing of c->d's.
+	if st.VariablesTouched >= st.Resharings*2 {
+		t.Errorf("VariablesTouched = %d over %d resharings: not incremental",
+			st.VariablesTouched, st.Resharings)
+	}
+	if st.VariablesTouched < 2 {
+		t.Errorf("VariablesTouched = %d, want >= 2", st.VariablesTouched)
+	}
+}
+
 func TestEngineNowAdvances(t *testing.T) {
 	p := buildPair(t, 100e6, 0)
 	cfg := DefaultConfig()

@@ -88,6 +88,8 @@ type tcpFlow struct {
 	// up to line rate without competing in the fluid sharing.
 	burst   bool
 	lineCap float64 // min hop capacity, the burst rate ceiling
+
+	fv *flow.Variable // live max-min variable while the flow is active
 }
 
 // bound returns the flow's window-imposed rate limit.
@@ -164,51 +166,69 @@ func (tb *Testbed) RunTransfers(transfers []Transfer) ([]Measurement, error) {
 
 // simulate runs the event loop: flow activations, slow-start window
 // doublings, and completions, re-solving the weighted max-min share after
-// every event batch.
+// every event batch. One flow system lives for the whole run: flows enter
+// it on activation, update their window bound in place, and leave it on
+// completion, so each re-solve only touches the components an event
+// disturbed.
 func (tb *Testbed) simulate(flows []*tcpFlow) error {
 	now := 0.0
 	active := 0
 	remainingFlows := len(flows)
 
-	reshare := func() error {
-		s := flow.NewSystem()
-		cnsts := make(map[*resource]*flow.Constraint)
-		vars := make(map[*tcpFlow]*flow.Variable)
-		for _, f := range flows {
-			if f.state != fsSlowStart && f.state != fsSteady {
-				continue
+	s := flow.NewSystem()
+	cnsts := make(map[*resource]*flow.Constraint)
+	flowOf := make(map[*flow.Variable]*tcpFlow, len(flows))
+
+	// effBound is the flow's window bound, capped at line rate for
+	// buffered bursts (which ramp independently of the fluid sharing).
+	// It is asserted at every point the window or state changes, so the
+	// solver re-solves exactly the components those changes disturb.
+	effBound := func(f *tcpFlow) float64 {
+		bound := f.bound(tb.cfg)
+		if f.burst && f.lineCap < bound {
+			bound = f.lineCap
+		}
+		return bound
+	}
+
+	activate := func(f *tcpFlow) error {
+		v := s.NewVariable(fmt.Sprintf("f%d", f.idx), f.weight, effBound(f))
+		f.fv = v
+		flowOf[v] = f
+		if f.burst {
+			return nil // bound-only: no shared constraints
+		}
+		for _, h := range f.hops {
+			c, ok := cnsts[h.res]
+			if !ok {
+				c = s.NewConstraint(h.res.id, h.res.capacity)
+				cnsts[h.res] = c
 			}
-			bound := f.bound(tb.cfg)
-			if f.burst {
-				// Buffered burst: ramp independently up to line rate.
-				if f.lineCap < bound {
-					bound = f.lineCap
-				}
-				vars[f] = s.NewVariable(fmt.Sprintf("f%d", f.idx), f.weight, bound)
-				continue
-			}
-			v := s.NewVariable(fmt.Sprintf("f%d", f.idx), f.weight, bound)
-			vars[f] = v
-			for _, h := range f.hops {
-				c, ok := cnsts[h.res]
-				if !ok {
-					c = s.NewConstraint(h.res.id, h.res.capacity)
-					cnsts[h.res] = c
-				}
-				if err := s.Attach(v, c); err != nil {
-					return fmt.Errorf("testbed: %w", err)
-				}
+			if err := s.Attach(v, c); err != nil {
+				return fmt.Errorf("testbed: %w", err)
 			}
 		}
+		return nil
+	}
+
+	reshare := func() error {
 		if err := s.Solve(); err != nil {
 			return err
 		}
-		for f, v := range vars {
-			f.rate = v.Rate()
+		// Only re-solved flows can have a new rate or newly satisfy the
+		// slow-start exit condition (an unchanged rate exits only if the
+		// bound moved, which dirties the flow too).
+		for _, v := range s.Touched() {
+			f, ok := flowOf[v]
+			if !ok || (f.state != fsSlowStart && f.state != fsSteady) {
+				continue
+			}
+			f.rate = f.fv.Rate()
 			// Slow-start exit: the network, not the window, limits the
 			// flow now; congestion avoidance holds it at its share.
 			if f.state == fsSlowStart && f.rate < f.bound(tb.cfg)*(1-1e-9) {
 				f.state = fsSteady
+				s.SetBound(f.fv, effBound(f))
 			}
 		}
 		return nil
@@ -286,6 +306,9 @@ func (tb *Testbed) simulate(flows []*tcpFlow) error {
 					f.state = fsSlowStart
 					f.nextTick = now + f.rtt
 					active++
+					if err := activate(f); err != nil {
+						return err
+					}
 				}
 			case fsSlowStart, fsSteady:
 				// A flow is done when its residue is below the byte
@@ -297,6 +320,9 @@ func (tb *Testbed) simulate(flows []*tcpFlow) error {
 					f.remaining = 0
 					f.state = fsDone
 					f.doneAt = now
+					delete(flowOf, f.fv)
+					s.RemoveVariable(f.fv)
+					f.fv = nil
 					remainingFlows--
 					active--
 					continue
@@ -308,6 +334,14 @@ func (tb *Testbed) simulate(flows []*tcpFlow) error {
 						f.state = fsSteady
 					}
 					f.nextTick = now + f.rtt
+					// A burst flow pinned at line rate exits slow start
+					// here: its effective bound stops moving once lineCap
+					// is the limiter, so the touched-flows check in
+					// reshare would never see it again.
+					if f.state == fsSlowStart && f.burst && f.cwnd/f.rtt >= f.lineCap*(1-1e-9) {
+						f.state = fsSteady
+					}
+					s.SetBound(f.fv, effBound(f))
 				}
 			}
 		}
