@@ -1,0 +1,40 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make bench` additionally leaves a
+# machine-readable BENCH_<sha>.json so performance is tracked per commit.
+
+SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+# The key benchmarks: the two heaviest figure cells, the paper's
+# 30-transfer latency claim, and the hypothesis-selection fan-out.
+KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest
+
+.PHONY: all build test vet race bench bench-smoke clean
+
+all: vet build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/pilgrim/... ./internal/sim/... ./internal/flow/...
+
+# bench runs the key benchmarks with -benchmem and writes BENCH_$(SHA).json
+# (ns/op + B/op + allocs/op per benchmark) next to the raw output.
+bench:
+	go test -run '^$$' -bench '$(KEY_BENCH)' -benchmem -count 1 . | tee bench_$(SHA).out
+	go run ./cmd/benchjson < bench_$(SHA).out > BENCH_$(SHA).json
+	@echo wrote BENCH_$(SHA).json
+
+# bench-smoke is the CI variant: every benchmark once, just to prove none
+# of them crashes or asserts.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime=1x -benchmem ./...
+
+clean:
+	rm -f bench_*.out BENCH_*.json

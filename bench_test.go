@@ -58,6 +58,7 @@ func benchFigure(b *testing.B, id string) {
 		b.Fatalf("unknown figure %s", id)
 	}
 	spec.Reps = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		spec.Seed = int64(i + 1)
@@ -119,6 +120,7 @@ func BenchmarkPredict30Transfers(b *testing.B) {
 			Src: hosts[idx[k]].ID, Dst: hosts[idx[30+k]].ID, Size: 5e8,
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pilgrim.PredictTransfers(entry, reqs, nil); err != nil {
@@ -144,6 +146,7 @@ func BenchmarkPredict30TransfersCached(b *testing.B) {
 		})
 	}
 	cache := pilgrim.NewForecastCache(16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cache.Predict("g5k_test", entry, reqs, nil); err != nil {
@@ -167,6 +170,7 @@ func BenchmarkIncrementalSharing(b *testing.B) {
 	hosts := plat.Hosts()
 	idx := rng.Sample(len(hosts), 100)
 	var touched, reshared float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := sim.NewSimulation(plat, entry.Config)
@@ -183,6 +187,45 @@ func BenchmarkIncrementalSharing(b *testing.B) {
 	b.ReportMetric(touched/float64(b.N), "vars-touched/op")
 	b.ReportMetric(touched/reshared, "vars-touched/resharing")
 }
+
+// selectFastestHypotheses builds n disjoint 8-transfer hypotheses over
+// the full platform for the select_fastest benchmarks.
+func selectFastestHypotheses(b *testing.B, n int) []pilgrim.Hypothesis {
+	b.Helper()
+	rng := stats.NewRNG(17)
+	hosts := entry.Platform.Hosts()
+	idx := rng.Sample(len(hosts), 2*8*n)
+	hyps := make([]pilgrim.Hypothesis, n)
+	for h := range hyps {
+		for k := 0; k < 8; k++ {
+			i := (h*8 + k) * 2
+			hyps[h].Transfers = append(hyps[h].Transfers, pilgrim.TransferRequest{
+				Src: hosts[idx[i]].ID, Dst: hosts[idx[i+1]].ID, Size: 5e8 + float64(h)*1e6,
+			})
+		}
+	}
+	return hyps
+}
+
+// benchSelectFastest measures one uncached select_fastest request — 8
+// hypotheses of 8 transfers each — on a pool of the given width. The
+// sequential/parallel pair pins the near-linear speedup of the worker
+// pool (and the thread-safety cost when workers=1).
+func benchSelectFastest(b *testing.B, workers int) {
+	setup(b)
+	hyps := selectFastestHypotheses(b, 8)
+	pool := pilgrim.NewWorkerPool(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pool.SelectFastest(entry, hyps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectFastest8x8Sequential(b *testing.B) { benchSelectFastest(b, 1) }
+func BenchmarkSelectFastest8x8Parallel(b *testing.B)   { benchSelectFastest(b, 0) }
 
 // BenchmarkPlatformG5KTest / Cabinets measure generating the two platform
 // flavours of §V-A (the paper: g5k_test is "less optimized ... in size

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, one entry per benchmark:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_$(git rev-parse --short HEAD).json
+//
+// Each entry carries ns/op, B/op and allocs/op (when -benchmem was on)
+// plus any custom ReportMetric values. `make bench` uses this to leave a
+// machine-readable performance record per commit, so regressions are a
+// `git diff` away.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsSper *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var out struct {
+		Goos       string  `json:"goos,omitempty"`
+		Goarch     string  `json:"goarch,omitempty"`
+		Pkg        string  `json:"pkg,omitempty"`
+		CPU        string  `json:"cpu,omitempty"`
+		Benchmarks []Entry `json:"benchmarks"`
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseBench(line); ok {
+				out.Benchmarks = append(out.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line, e.g.
+//
+//	BenchmarkFoo-8  100  12345 ns/op  678 B/op  9 allocs/op  1.5 widgets/op
+func parseBench(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Entry{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			v := val
+			e.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			e.AllocsSper = &v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, true
+}

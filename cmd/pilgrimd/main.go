@@ -5,7 +5,7 @@
 //
 //	pilgrimd [-addr :8080] [-g5k-api URL] [-rrd-tree DIR]
 //	         [-gamma-latfactor] [-equipment-limits] [-measured-latencies]
-//	         [-forecast-cache N]
+//	         [-forecast-cache N] [-forecast-workers N]
 //
 // Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
 // reference description — fetched from a reference API server when
@@ -36,15 +36,16 @@ func main() {
 	equipLimits := flag.Bool("equipment-limits", false, "model network equipment backplane limits (future-work extension)")
 	measuredLat := flag.Bool("measured-latencies", false, "use measured backbone latencies instead of the hardcoded 2.25e-3 s (future-work extension)")
 	cacheSize := flag.Int("forecast-cache", pilgrim.DefaultForecastCacheSize, "forecast cache capacity in distinct queries (0 disables caching)")
+	workers := flag.Int("forecast-workers", pilgrim.DefaultForecastWorkers, "concurrent hypothesis simulations for select_fastest (1 = sequential)")
 	flag.Parse()
 
-	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat, *cacheSize); err != nil {
+	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat, *cacheSize, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pilgrimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, cacheSize int) error {
+func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, cacheSize, workers int) error {
 	ref := g5k.Default()
 	if g5kAPI != "" {
 		fetched, err := g5k.Fetch(nil, g5kAPI)
@@ -88,6 +89,10 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, 
 	if cacheSize != pilgrim.DefaultForecastCacheSize {
 		server.SetForecastCache(cacheSize)
 	}
-	log.Printf("pilgrimd listening on %s (forecast cache: %d entries)", addr, cacheSize)
+	if workers != pilgrim.DefaultForecastWorkers {
+		server.SetForecastWorkers(workers)
+	}
+	log.Printf("pilgrimd listening on %s (forecast cache: %d entries, %d forecast workers)",
+		addr, cacheSize, workers)
 	return http.ListenAndServe(addr, server)
 }

@@ -166,10 +166,23 @@ func (r *Result) AllSamples() []Sample {
 }
 
 // Runner executes experiments: the testbed provides measures, the
-// forecast entry provides predictions.
+// forecast entry provides predictions. A Runner is not safe for
+// concurrent use: draw pools and per-repetition buffers are cached on the
+// Runner so a campaign's inner loop allocates little.
 type Runner struct {
 	Testbed *testbed.Testbed
 	Entry   pilgrim.PlatformEntry
+
+	// GridMulti draw pools, built once from the reference.
+	gmSites  []string
+	gmBySite map[string][]string
+
+	// per-repetition scratch
+	transferBuf []testbed.Transfer
+	reqBuf      []pilgrim.TransferRequest
+	srcBuf      []string
+	srcSiteBuf  []string
+	dstBuf      []string
 }
 
 // NewRunner wires a runner from a reference description, a testbed
@@ -197,7 +210,7 @@ func (r *Runner) drawTransfers(spec Spec, size float64, rng *stats.RNG) ([]testb
 		if len(nodes) == 0 {
 			return nil, fmt.Errorf("experiments: no nodes in %s/%s", spec.Site, spec.Cluster)
 		}
-		var sources, dests []string
+		sources, dests := r.srcBuf[:0], r.dstBuf[:0]
 		if spec.NSources+spec.NDests <= len(nodes) {
 			// Disjoint draws.
 			idx := rng.Sample(len(nodes), spec.NSources+spec.NDests)
@@ -215,7 +228,8 @@ func (r *Runner) drawTransfers(spec Spec, size float64, rng *stats.RNG) ([]testb
 				dests = append(dests, nodes[i])
 			}
 		}
-		transfers := make([]testbed.Transfer, 0, n)
+		r.srcBuf, r.dstBuf = sources, dests
+		transfers := r.transferBuf[:0]
 		for k := 0; k < n; k++ {
 			src := sources[k%len(sources)]
 			dst := dests[k%len(dests)]
@@ -227,21 +241,24 @@ func (r *Runner) drawTransfers(spec Spec, size float64, rng *stats.RNG) ([]testb
 			}
 			transfers = append(transfers, testbed.Transfer{Src: src, Dst: dst, Size: size})
 		}
+		r.transferBuf = transfers
 		return transfers, nil
 
 	case GridMulti:
-		ref := r.Testbed.Reference()
-		bySite := make(map[string][]string)
-		var sites []string
-		for _, siteID := range ref.SiteIDs() {
-			site := ref.Sites[siteID]
-			for _, cid := range site.ClusterIDs() {
-				for _, nid := range site.Clusters[cid].NodeIDs() {
-					bySite[siteID] = append(bySite[siteID], g5k.FQDN(nid, siteID))
+		if r.gmBySite == nil {
+			ref := r.Testbed.Reference()
+			r.gmBySite = make(map[string][]string)
+			for _, siteID := range ref.SiteIDs() {
+				site := ref.Sites[siteID]
+				for _, cid := range site.ClusterIDs() {
+					for _, nid := range site.Clusters[cid].NodeIDs() {
+						r.gmBySite[siteID] = append(r.gmBySite[siteID], g5k.FQDN(nid, siteID))
+					}
 				}
+				r.gmSites = append(r.gmSites, siteID)
 			}
-			sites = append(sites, siteID)
 		}
+		bySite, sites := r.gmBySite, r.gmSites
 		if len(sites) < 2 {
 			return nil, fmt.Errorf("experiments: GRID_MULTI needs at least 2 sites")
 		}
@@ -250,12 +267,12 @@ func (r *Runner) drawTransfers(spec Spec, size float64, rng *stats.RNG) ([]testb
 			si := rng.Intn(len(sites))
 			return sites[si], bySite[sites[si]][rng.Intn(len(bySite[sites[si]]))]
 		}
-		sources := make([]string, spec.NSources)
-		srcSites := make([]string, spec.NSources)
+		sources := resizeStrings(&r.srcBuf, spec.NSources)
+		srcSites := resizeStrings(&r.srcSiteBuf, spec.NSources)
 		for i := range sources {
 			srcSites[i], sources[i] = pick()
 		}
-		dests := make([]string, spec.NDests)
+		dests := resizeStrings(&r.dstBuf, spec.NDests)
 		for i := range dests {
 			// Constraint: all transfers cross site boundaries; destination
 			// site differs from the source it will pair with (and any
@@ -269,7 +286,7 @@ func (r *Runner) drawTransfers(spec Spec, size float64, rng *stats.RNG) ([]testb
 				}
 			}
 		}
-		transfers := make([]testbed.Transfer, 0, n)
+		transfers := r.transferBuf[:0]
 		for k := 0; k < n; k++ {
 			src := sources[k%len(sources)]
 			dst := dests[k%len(dests)]
@@ -286,10 +303,21 @@ func (r *Runner) drawTransfers(spec Spec, size float64, rng *stats.RNG) ([]testb
 			}
 			transfers = append(transfers, testbed.Transfer{Src: src, Dst: dst, Size: size})
 		}
+		r.transferBuf = transfers
 		return transfers, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown topology %v", spec.Topology)
 	}
+}
+
+// resizeStrings returns *buf resized to n elements, reallocating only on
+// capacity growth; the backing array is cached through buf.
+func resizeStrings(buf *[]string, n int) []string {
+	if cap(*buf) < n {
+		*buf = make([]string, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // siteOf extracts the site from an FQDN ("node.site.grid5000.fr").
@@ -328,10 +356,11 @@ func (r *Runner) RunCell(spec Spec, size float64) (Cell, error) {
 		if err != nil {
 			return cell, fmt.Errorf("experiments: %s size %.3g rep %d (measure): %w", spec.ID, size, rep, err)
 		}
-		reqs := make([]pilgrim.TransferRequest, len(transfers))
-		for i, tr := range transfers {
-			reqs[i] = pilgrim.TransferRequest{Src: tr.Src, Dst: tr.Dst, Size: tr.Size}
+		reqs := r.reqBuf[:0]
+		for _, tr := range transfers {
+			reqs = append(reqs, pilgrim.TransferRequest{Src: tr.Src, Dst: tr.Dst, Size: tr.Size})
 		}
+		r.reqBuf = reqs
 		preds, err := pilgrim.PredictTransfers(r.Entry, reqs, nil)
 		if err != nil {
 			return cell, fmt.Errorf("experiments: %s size %.3g rep %d (predict): %w", spec.ID, size, rep, err)

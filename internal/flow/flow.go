@@ -39,10 +39,12 @@
 package flow
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strconv"
 )
 
 // Variable is one entity competing for capacity — in the network model,
@@ -54,15 +56,34 @@ type Variable struct {
 	value  float64
 	cnsts  []*Constraint
 	fixed  bool
+	data   any // caller backreference (SetData), cleared on removal
 
 	sys    *System // owning system, nil once removed
 	index  int     // position in sys.vars, for O(1) removal
 	serial uint64  // creation order, for deterministic solve order
 	mark   uint64  // dirty-closure epoch stamp (scratch)
+	lam    float64 // bound/weight fill level during a solve (scratch)
 }
 
-// ID returns the identifier given at creation.
-func (v *Variable) ID() string { return v.id }
+// ID returns the identifier given at creation. Variables created with an
+// empty id are named lazily from their creation serial — hot callers (the
+// simulation engines, which create one variable per activation) pass ""
+// so no name is ever formatted outside error paths.
+func (v *Variable) ID() string {
+	if v.id == "" {
+		return "v" + strconv.FormatUint(v.serial, 10)
+	}
+	return v.id
+}
+
+// SetData attaches an arbitrary caller value to the variable — the
+// simulation engines store the owning activity so rate propagation after
+// Solve needs no side lookup table. The value is cleared when the
+// variable is removed from its system.
+func (v *Variable) SetData(d any) { v.data = d }
+
+// Data returns the value stored with SetData, or nil.
+func (v *Variable) Data() any { return v.data }
 
 // Weight returns the share weight (callers use 1/RTT).
 func (v *Variable) Weight() float64 { return v.weight }
@@ -84,10 +105,13 @@ type Constraint struct {
 	vars     []*Variable
 	used     float64
 
-	serial    uint64  // creation order, for deterministic solve order
-	mark      uint64  // dirty-closure epoch stamp (scratch)
-	remaining float64 // residual capacity during a solve (scratch)
-	unfixed   int     // unfixed crossing variables during a solve (scratch)
+	serial    uint64      // creation order, for deterministic solve order
+	mark      uint64      // dirty-closure epoch stamp (scratch)
+	remaining float64     // residual capacity during a solve (scratch)
+	unfixed   int         // unfixed crossing variables during a solve (scratch)
+	active    []*Variable // not-yet-fixed crossing variables, compacted per round (scratch)
+	wsum      float64     // Σ weight over active, valid while !wstale (scratch)
+	wstale    bool        // a crossing variable fixed since wsum was summed (scratch)
 }
 
 // ID returns the identifier given at creation.
@@ -136,24 +160,81 @@ type System struct {
 	lastTouched  int
 	totalTouched int
 	touched      []*Variable // variables re-solved by the last Solve
+
+	// varFree and conFree recycle removed Variable / Reset Constraint
+	// structs (including their attachment slices' capacity): simulations
+	// churn one variable per activity activation and rebuild constraints
+	// per pooled run, and reuse keeps that churn allocation-free at
+	// steady state.
+	varFree []*Variable
+	conFree []*Constraint
+
+	// Per-solve scratch buffers, reused so a solve allocates nothing at
+	// steady state. dirtyVBuf doubles as the touched list between solves.
+	dirtyVBuf  []*Variable
+	dirtyCBuf  []*Constraint
+	stackBuf   []*Constraint
+	boundedBuf []*Variable
 }
 
 // NewSystem returns an empty system.
 func NewSystem() *System { return &System{allDirty: true} }
+
+// Reset empties the system — all variables and constraints are dropped
+// and the creation serials restart from zero — while retaining every
+// internal buffer and recycled struct. A reset system behaves exactly
+// like a new one (identical ids, serials, and therefore identical solve
+// order and arithmetic) but re-solving a same-shaped workload allocates
+// almost nothing. The engine pool uses this to recycle whole simulations.
+func (s *System) Reset() {
+	for _, v := range s.vars {
+		v.sys = nil
+		v.data = nil
+		v.cnsts = v.cnsts[:0]
+		s.varFree = append(s.varFree, v)
+	}
+	s.vars = s.vars[:0]
+	for _, c := range s.cnsts {
+		c.vars = c.vars[:0]
+		c.active = c.active[:0]
+		s.conFree = append(s.conFree, c)
+	}
+	s.cnsts = s.cnsts[:0]
+	s.serial = 0
+	s.allDirty = true
+	s.solved = false
+	s.dirtyVars = s.dirtyVars[:0]
+	s.dirtyCnsts = s.dirtyCnsts[:0]
+	s.touched = nil
+	s.solves = 0
+	s.lastTouched = 0
+	s.totalTouched = 0
+}
 
 // NewConstraint adds a resource with the given capacity (must be >= 0).
 func (s *System) NewConstraint(id string, capacity float64) *Constraint {
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Errorf("flow: constraint %q has invalid capacity %v", id, capacity))
 	}
-	c := &Constraint{id: id, capacity: capacity, serial: s.serial}
+	var c *Constraint
+	if n := len(s.conFree); n > 0 {
+		c = s.conFree[n-1]
+		s.conFree[n-1] = nil
+		s.conFree = s.conFree[:n-1]
+		vars, act := c.vars[:0], c.active[:0]
+		*c = Constraint{id: id, capacity: capacity, serial: s.serial, vars: vars, active: act}
+	} else {
+		c = &Constraint{id: id, capacity: capacity, serial: s.serial}
+	}
 	s.serial++
 	s.cnsts = append(s.cnsts, c)
 	return c
 }
 
 // NewVariable adds a flow with the given share weight and rate bound.
-// weight must be > 0. bound <= 0 means unbounded.
+// weight must be > 0. bound <= 0 means unbounded. An empty id names the
+// variable lazily (see ID). Removed Variable structs are recycled, so a
+// steady add/remove churn allocates nothing.
 func (s *System) NewVariable(id string, weight, bound float64) *Variable {
 	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
 		panic(fmt.Errorf("flow: variable %q has invalid weight %v", id, weight))
@@ -161,7 +242,16 @@ func (s *System) NewVariable(id string, weight, bound float64) *Variable {
 	if bound <= 0 || math.IsNaN(bound) {
 		bound = math.Inf(1)
 	}
-	v := &Variable{id: id, weight: weight, bound: bound, sys: s, index: len(s.vars), serial: s.serial}
+	var v *Variable
+	if n := len(s.varFree); n > 0 {
+		v = s.varFree[n-1]
+		s.varFree[n-1] = nil
+		s.varFree = s.varFree[:n-1]
+		cn := v.cnsts[:0] // keep the attachment slice's capacity
+		*v = Variable{id: id, weight: weight, bound: bound, cnsts: cn, sys: s, index: len(s.vars), serial: s.serial}
+	} else {
+		v = &Variable{id: id, weight: weight, bound: bound, sys: s, index: len(s.vars), serial: s.serial}
+	}
 	s.serial++
 	s.vars = append(s.vars, v)
 	s.dirtyVars = append(s.dirtyVars, v)
@@ -187,7 +277,7 @@ func (s *System) AddVariable(id string, weight, bound float64, cnsts ...*Constra
 // not belong to this system (or was already removed) panics.
 func (s *System) RemoveVariable(v *Variable) {
 	if v.sys != s {
-		panic(fmt.Errorf("flow: variable %q is not in this system", v.id))
+		panic(fmt.Errorf("flow: variable %q is not in this system", v.ID()))
 	}
 	for _, c := range v.cnsts {
 		for i, w := range c.vars {
@@ -207,7 +297,9 @@ func (s *System) RemoveVariable(v *Variable) {
 	s.vars[last] = nil
 	s.vars = s.vars[:last]
 	v.sys = nil
-	v.cnsts = nil
+	v.cnsts = v.cnsts[:0]
+	v.data = nil
+	s.varFree = append(s.varFree, v)
 	s.solved = false
 }
 
@@ -218,7 +310,7 @@ func (s *System) RemoveVariable(v *Variable) {
 // re-solving. Panics if the variable is not in this system.
 func (s *System) SetBound(v *Variable, bound float64) {
 	if v.sys != s {
-		panic(fmt.Errorf("flow: variable %q is not in this system", v.id))
+		panic(fmt.Errorf("flow: variable %q is not in this system", v.ID()))
 	}
 	if bound <= 0 || math.IsNaN(bound) {
 		bound = math.Inf(1)
@@ -237,7 +329,7 @@ func (s *System) SetBound(v *Variable, bound float64) {
 func (s *System) Attach(v *Variable, c *Constraint) error {
 	for _, existing := range v.cnsts {
 		if existing == c {
-			return fmt.Errorf("flow: variable %q already attached to constraint %q", v.id, c.id)
+			return fmt.Errorf("flow: variable %q already attached to constraint %q", v.ID(), c.id)
 		}
 	}
 	v.cnsts = append(v.cnsts, c)
@@ -280,15 +372,19 @@ func (s *System) Solve() error {
 	// from a mutation seed through shared constraints. Collection happens
 	// during the closure traversal itself (so the cost is proportional to
 	// the dirty set, not the whole system) and is then sorted by creation
-	// serial so the solve visits resources in a stable order.
+	// serial so the solve visits resources in a stable order. The
+	// collection slices are per-system scratch, so steady-state solves
+	// allocate nothing.
 	var dirtyV []*Variable
 	var dirtyC []*Constraint
 	if s.allDirty {
 		dirtyV = s.vars
 		dirtyC = s.cnsts
 	} else {
+		dirtyV = s.dirtyVBuf[:0]
+		dirtyC = s.dirtyCBuf[:0]
 		s.epoch++
-		stack := make([]*Constraint, 0, len(s.dirtyCnsts))
+		stack := s.stackBuf[:0]
 		markC := func(c *Constraint) {
 			if c.mark != s.epoch {
 				c.mark = s.epoch
@@ -320,61 +416,134 @@ func (s *System) Solve() error {
 				markV(v)
 			}
 		}
-		sort.Slice(dirtyC, func(i, j int) bool { return dirtyC[i].serial < dirtyC[j].serial })
-		sort.Slice(dirtyV, func(i, j int) bool { return dirtyV[i].serial < dirtyV[j].serial })
+		s.dirtyVBuf = dirtyV
+		s.dirtyCBuf = dirtyC
+		s.stackBuf = stack[:0]
+		// Order the dirty constraints by creation serial. s.cnsts is
+		// already in that order (constraints are never removed), so when
+		// most constraints are dirty a marked sweep is cheaper than a
+		// comparison sort; both produce the identical sequence.
+		if 4*len(dirtyC) >= len(s.cnsts) {
+			dirtyC = dirtyC[:0]
+			for _, c := range s.cnsts {
+				if c.mark == s.epoch {
+					dirtyC = append(dirtyC, c)
+				}
+			}
+			s.dirtyCBuf = dirtyC
+		} else {
+			slices.SortFunc(dirtyC, func(a, b *Constraint) int { return cmp.Compare(a.serial, b.serial) })
+		}
+		slices.SortFunc(dirtyV, func(a, b *Variable) int { return cmp.Compare(a.serial, b.serial) })
 	}
 
 	for _, v := range dirtyV {
 		if len(v.cnsts) == 0 && math.IsInf(v.bound, 1) {
-			return fmt.Errorf("%w: %q", ErrUnboundedVariable, v.id)
+			return fmt.Errorf("%w: %q", ErrUnboundedVariable, v.ID())
 		}
 	}
 
 	// Reset the dirty sub-system. By closure, every variable crossing a
 	// dirty constraint is itself dirty, so capacities restart from full.
+	// Three working lists keep the progressive-filling rounds proportional
+	// to what is still unfixed rather than to the whole dirty set:
+	//
+	//   - each constraint snapshots its crossing variables into c.active,
+	//     compacted as variables fix (attachment order preserved, so the
+	//     per-round weight sums are bit-identical to a full rescan);
+	//   - work compacts away constraints whose variables are all fixed
+	//     (relative serial order preserved, so λ* tie-breaking between
+	//     equal constraints is unchanged);
+	//   - bounded holds the rate-bounded variables pre-sorted by their
+	//     constant fill level λ_v = bound/weight (stable sort, so equal
+	//     levels keep serial order): the first unfixed entry is the
+	//     candidate each round, replacing a full rescan.
 	for _, v := range dirtyV {
 		v.fixed = false
 		v.value = 0
 	}
+	bounded := s.boundedBuf[:0]
+	for _, v := range dirtyV {
+		if !math.IsInf(v.bound, 1) {
+			v.lam = v.bound / v.weight
+			bounded = append(bounded, v)
+		}
+	}
+	slices.SortStableFunc(bounded, func(a, b *Variable) int { return cmp.Compare(a.lam, b.lam) })
+	boundedHead := 0
 	for _, c := range dirtyC {
 		c.remaining = c.capacity
 		c.unfixed = len(c.vars)
 		c.used = 0
+		c.active = append(c.active[:0], c.vars...)
+		c.wstale = true
+	}
+	work := dirtyC
+	if s.allDirty {
+		// dirtyC aliases s.cnsts here; compaction must not reorder it.
+		work = append(s.dirtyCBuf[:0], dirtyC...)
+		s.dirtyCBuf = work
 	}
 
 	unfixed := len(dirtyV)
+	fix := func(v *Variable, rate float64) {
+		v.fixed = true
+		v.value = rate
+		unfixed--
+		for _, c := range v.cnsts {
+			c.remaining -= rate
+			if c.remaining < 0 {
+				c.remaining = 0
+			}
+			c.unfixed--
+			c.used += rate
+			c.wstale = true
+		}
+	}
 	for unfixed > 0 {
 		// Find the minimal fill level λ* at which something saturates.
 		// For constraint c: λ_c = remaining_c / Σ weights of unfixed vars.
 		// For a bounded variable v: λ_v = bound_v / weight_v.
-		// Weight sums are recomputed fresh each round: maintaining them
-		// incrementally accumulates floating-point residue that can make
-		// an exhausted constraint look populated and stall the loop.
+		// Weight sums are recomputed from scratch — never maintained by
+		// subtraction, which accumulates floating-point residue that can
+		// make an exhausted constraint look populated and stall the loop —
+		// but only for constraints a fix actually disturbed (wstale): an
+		// undisturbed constraint's sum is the same bits either way.
 		lambda := math.Inf(1)
 		var satCnst *Constraint
 		var satVar *Variable
-		for _, c := range dirtyC {
+		m := 0
+		for _, c := range work {
 			if c.unfixed == 0 {
-				continue // no unfixed variable crosses c
+				continue // no unfixed variable crosses c anymore
 			}
-			w := 0.0
-			for _, v := range c.vars {
-				if !v.fixed {
-					w += v.weight
+			work[m] = c
+			m++
+			if c.wstale {
+				w := 0.0
+				act := c.active[:0]
+				for _, v := range c.active {
+					if !v.fixed {
+						w += v.weight
+						act = append(act, v)
+					}
 				}
+				c.active = act
+				c.wsum = w
+				c.wstale = false
 			}
-			l := c.remaining / w
+			l := c.remaining / c.wsum
 			if l < lambda {
 				lambda, satCnst, satVar = l, c, nil
 			}
 		}
-		for _, v := range dirtyV {
-			if v.fixed || math.IsInf(v.bound, 1) {
-				continue
-			}
-			l := v.bound / v.weight
-			if l < lambda {
-				lambda, satCnst, satVar = l, nil, v
+		work = work[:m]
+		for boundedHead < len(bounded) && bounded[boundedHead].fixed {
+			boundedHead++
+		}
+		if boundedHead < len(bounded) {
+			if v := bounded[boundedHead]; v.lam < lambda {
+				lambda, satCnst, satVar = v.lam, nil, v
 			}
 		}
 
@@ -387,32 +556,19 @@ func (s *System) Solve() error {
 			return errors.New("flow: internal error: no saturating resource found")
 		}
 
-		fix := func(v *Variable, rate float64) {
-			v.fixed = true
-			v.value = rate
-			unfixed--
-			for _, c := range v.cnsts {
-				c.remaining -= rate
-				if c.remaining < 0 {
-					c.remaining = 0
-				}
-				c.unfixed--
-				c.used += rate
-			}
-		}
-
 		if satVar != nil {
 			fix(satVar, satVar.bound)
 			continue
 		}
 		// Fix every unfixed variable crossing the saturated constraint at
 		// weight-proportional share of λ*.
-		for _, v := range satCnst.vars {
+		for _, v := range satCnst.active {
 			if !v.fixed {
 				fix(v, v.weight*lambda)
 			}
 		}
 	}
+	s.boundedBuf = bounded[:0]
 
 	s.lastTouched = len(dirtyV)
 	s.totalTouched += len(dirtyV)

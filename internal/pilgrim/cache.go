@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"pilgrim/internal/platform"
 )
 
 // ForecastCache memoizes PNFS predictions behind a bounded LRU. A
@@ -28,8 +30,13 @@ type ForecastCache struct {
 }
 
 // cacheEntry is one memoized answer, predictions in canonical order.
+// plat pins the answered platform for the entry's lifetime: the cache key
+// embeds the platform's address, and holding the pointer guarantees that
+// address cannot be recycled for a different platform while the entry is
+// live.
 type cacheEntry struct {
 	key   string
+	plat  *platform.Platform
 	preds []Prediction
 }
 
@@ -117,6 +124,18 @@ func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers
 		return nil, fmt.Errorf("pilgrim: no transfers requested")
 	}
 	order := canonicalize(transfers)
+	// Background flows are part of the canonical workload too: simulate
+	// them in sorted order so the answer for a logical workload does not
+	// depend on which bg parameter ordering happened to arrive first.
+	if len(background) > 1 {
+		background = append([][2]string(nil), background...)
+		sort.Slice(background, func(i, j int) bool {
+			if background[i][0] != background[j][0] {
+				return background[i][0] < background[j][0]
+			}
+			return background[i][1] < background[j][1]
+		})
+	}
 	key := cacheKey(platform, entry, transfers, order, background)
 
 	if fc.capacity > 0 {
@@ -150,7 +169,7 @@ func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers
 	if fc.capacity > 0 {
 		fc.mu.Lock()
 		if _, ok := fc.entries[key]; !ok { // concurrent request may have filled it
-			fc.entries[key] = fc.lru.PushFront(&cacheEntry{key: key, preds: canonical})
+			fc.entries[key] = fc.lru.PushFront(&cacheEntry{key: key, plat: entry.Platform, preds: canonical})
 			for fc.lru.Len() > fc.capacity {
 				oldest := fc.lru.Back()
 				fc.lru.Remove(oldest)
@@ -164,11 +183,10 @@ func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers
 
 // SelectFastest is SelectFastest routed through the cache: each
 // hypothesis is one cacheable prediction, so a scheduler polling the
-// same alternatives repeatedly pays for each simulation once.
+// same alternatives repeatedly pays for each simulation once. Cache
+// misses simulate concurrently over the package's default worker pool.
 func (fc *ForecastCache) SelectFastest(platform string, entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
-	return selectFastest(hyps, func(transfers []TransferRequest) ([]Prediction, error) {
-		return fc.Predict(platform, entry, transfers, nil)
-	})
+	return defaultPool().SelectFastestCached(fc, platform, entry, hyps)
 }
 
 // reorder maps canonical-order predictions back to request order:

@@ -115,7 +115,8 @@ func PredictTransfers(entry PlatformEntry, transfers []TransferRequest, backgrou
 	if len(transfers) == 0 {
 		return nil, fmt.Errorf("pilgrim: no transfers requested")
 	}
-	s := sim.NewSimulation(entry.Platform, entry.Config)
+	s := sim.NewPooledSimulation(entry.Platform, entry.Config)
+	defer s.Release()
 	for _, bg := range background {
 		s.AddBackgroundFlow(bg[0], bg[1])
 	}
@@ -149,36 +150,8 @@ type HypothesisResult struct {
 // SelectFastest simulates each hypothesis independently and returns all
 // results plus the index of the hypothesis with the smallest makespan
 // (paper §VI: "given n different transfer hypotheses, select the fastest
-// one").
+// one"). Hypotheses are evaluated concurrently over the package's default
+// worker pool; use a dedicated NewWorkerPool to control the width.
 func SelectFastest(entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
-	return selectFastest(hyps, func(transfers []TransferRequest) ([]Prediction, error) {
-		return PredictTransfers(entry, transfers, nil)
-	})
-}
-
-// selectFastest ranks hypotheses under any prediction backend (direct
-// simulation or the forecast cache).
-func selectFastest(hyps []Hypothesis, predict func([]TransferRequest) ([]Prediction, error)) (best int, results []HypothesisResult, err error) {
-	if len(hyps) == 0 {
-		return 0, nil, fmt.Errorf("pilgrim: no hypotheses")
-	}
-	results = make([]HypothesisResult, len(hyps))
-	best = -1
-	for i, h := range hyps {
-		preds, err := predict(h.Transfers)
-		if err != nil {
-			return 0, nil, fmt.Errorf("pilgrim: hypothesis %d: %w", i, err)
-		}
-		makespan := 0.0
-		for _, p := range preds {
-			if p.Duration > makespan {
-				makespan = p.Duration
-			}
-		}
-		results[i] = HypothesisResult{Index: i, Makespan: makespan, Predictions: preds}
-		if best == -1 || makespan < results[best].Makespan {
-			best = i
-		}
-	}
-	return best, results, nil
+	return defaultPool().SelectFastest(entry, hyps)
 }

@@ -26,6 +26,7 @@ type Server struct {
 	platforms *Registry
 	metrics   *metrology.Registry
 	cache     atomic.Pointer[ForecastCache]
+	pool      atomic.Pointer[WorkerPool]
 	mux       *http.ServeMux
 }
 
@@ -46,6 +47,7 @@ func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 		mux:       http.NewServeMux(),
 	}
 	s.cache.Store(NewForecastCache(DefaultForecastCacheSize))
+	s.pool.Store(NewWorkerPool(DefaultForecastWorkers))
 	s.mux.HandleFunc("GET /pilgrim/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /pilgrim/predict_transfers/{platform}", s.handlePredict)
 	s.mux.HandleFunc("GET /pilgrim/select_fastest/{platform}", s.handleSelectFastest)
@@ -62,6 +64,15 @@ func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 // in-flight requests keep using the cache they started with.
 func (s *Server) SetForecastCache(capacity int) {
 	s.cache.Store(NewForecastCache(capacity))
+}
+
+// SetForecastWorkers replaces the server's hypothesis worker pool with
+// one of the given width (n <= 0 selects DefaultForecastWorkers, 1 gives
+// sequential evaluation). Safe to call while serving: counters restart
+// and in-flight select_fastest requests finish on the pool they started
+// with.
+func (s *Server) SetForecastWorkers(n int) {
+	s.pool.Store(NewWorkerPool(n))
 }
 
 // ServeHTTP implements http.Handler.
@@ -136,11 +147,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, preds)
 }
 
-// handleCacheStats reports the forecast cache's hit/miss counters:
+// handleCacheStats reports the forecast cache's hit/miss counters and the
+// hypothesis worker pool's telemetry:
 //
 //	GET /pilgrim/cache_stats
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.cache.Load().Stats())
+	writeJSON(w, struct {
+		CacheStats
+		Forecast WorkerStats `json:"forecast_workers"`
+	}{s.cache.Load().Stats(), s.pool.Load().Stats()})
 }
 
 // handleSelectFastest implements the hypothesis-selection extension:
@@ -168,7 +183,8 @@ func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "at least one hypothesis parameter required", http.StatusBadRequest)
 		return
 	}
-	best, results, err := s.cache.Load().SelectFastest(r.PathValue("platform"), entry, hyps)
+	best, results, err := s.pool.Load().SelectFastestCached(
+		s.cache.Load(), r.PathValue("platform"), entry, hyps)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

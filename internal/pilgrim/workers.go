@@ -1,0 +1,162 @@
+package pilgrim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultForecastWorkers is the worker-pool width NewServer (and the
+// package-level SelectFastest) uses: one concurrent hypothesis simulation
+// per available CPU.
+var DefaultForecastWorkers = runtime.GOMAXPROCS(0)
+
+// WorkerPool bounds the number of hypothesis simulations running
+// concurrently. select_fastest requests fan their hypotheses out over the
+// pool: each hypothesis is an independent simulation (the engines come
+// from the sim package's engine pool, and the platform's route cache is
+// read-mostly), so n hypotheses on w workers finish in ~⌈n/w⌉ simulation
+// times instead of n. The pool is safe for concurrent use by many
+// requests at once; its counters feed /pilgrim/cache_stats.
+type WorkerPool struct {
+	slots chan struct{}
+
+	busy      atomic.Int64
+	maxBusy   atomic.Int64
+	queued    atomic.Int64
+	evaluated atomic.Uint64
+	batches   atomic.Uint64
+}
+
+// NewWorkerPool returns a pool running up to workers hypothesis
+// simulations concurrently. workers <= 0 selects DefaultForecastWorkers;
+// 1 gives strictly sequential evaluation.
+func NewWorkerPool(workers int) *WorkerPool {
+	if workers <= 0 {
+		workers = DefaultForecastWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &WorkerPool{slots: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool width.
+func (p *WorkerPool) Workers() int { return cap(p.slots) }
+
+func (p *WorkerPool) acquire() {
+	p.queued.Add(1)
+	p.slots <- struct{}{}
+	p.queued.Add(-1)
+	b := p.busy.Add(1)
+	for {
+		m := p.maxBusy.Load()
+		if b <= m || p.maxBusy.CompareAndSwap(m, b) {
+			return
+		}
+	}
+}
+
+func (p *WorkerPool) release() {
+	p.busy.Add(-1)
+	<-p.slots
+}
+
+// WorkerStats is the pool telemetry surfaced by /pilgrim/cache_stats.
+type WorkerStats struct {
+	// Workers is the configured pool width (-forecast-workers).
+	Workers int `json:"workers"`
+	// Busy and Queued are instantaneous: hypotheses simulating right now
+	// and hypotheses waiting for a free worker.
+	Busy   int64 `json:"busy"`
+	Queued int64 `json:"queued"`
+	// MaxBusy is the high-water mark of concurrently running simulations.
+	MaxBusy int64 `json:"max_busy"`
+	// Hypotheses counts hypothesis simulations completed through the
+	// pool; Batches counts the select_fastest calls that spawned them.
+	Hypotheses uint64 `json:"hypotheses_evaluated"`
+	Batches    uint64 `json:"select_fastest_calls"`
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *WorkerPool) Stats() WorkerStats {
+	return WorkerStats{
+		Workers:    p.Workers(),
+		Busy:       p.busy.Load(),
+		Queued:     p.queued.Load(),
+		MaxBusy:    p.maxBusy.Load(),
+		Hypotheses: p.evaluated.Load(),
+		Batches:    p.batches.Load(),
+	}
+}
+
+// selectFastest ranks hypotheses under any prediction backend, evaluating
+// them concurrently over the pool. Results are deterministic and identical
+// to a sequential evaluation: results keep request order, the winner is
+// the lowest-index hypothesis with the smallest makespan, and on failure
+// the lowest failing index's error is returned.
+func (p *WorkerPool) selectFastest(hyps []Hypothesis, predict func([]TransferRequest) ([]Prediction, error)) (best int, results []HypothesisResult, err error) {
+	if len(hyps) == 0 {
+		return 0, nil, fmt.Errorf("pilgrim: no hypotheses")
+	}
+	p.batches.Add(1)
+	results = make([]HypothesisResult, len(hyps))
+	errs := make([]error, len(hyps))
+	var wg sync.WaitGroup
+	for i := range hyps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			preds, err := predict(hyps[i].Transfers)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			p.evaluated.Add(1)
+			makespan := 0.0
+			for _, pr := range preds {
+				if pr.Duration > makespan {
+					makespan = pr.Duration
+				}
+			}
+			results[i] = HypothesisResult{Index: i, Makespan: makespan, Predictions: preds}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return 0, nil, fmt.Errorf("pilgrim: hypothesis %d: %w", i, e)
+		}
+	}
+	best = 0
+	for i := 1; i < len(results); i++ {
+		if results[i].Makespan < results[best].Makespan {
+			best = i
+		}
+	}
+	return best, results, nil
+}
+
+// SelectFastest simulates each hypothesis on the pool directly (no
+// forecast cache) and returns all results plus the winning index.
+func (p *WorkerPool) SelectFastest(entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	return p.selectFastest(hyps, func(transfers []TransferRequest) ([]Prediction, error) {
+		return PredictTransfers(entry, transfers, nil)
+	})
+}
+
+// SelectFastestCached is SelectFastest routed through a forecast cache:
+// each hypothesis is one cacheable prediction, so a scheduler polling the
+// same alternatives repeatedly pays for each simulation once — and the
+// misses simulate concurrently.
+func (p *WorkerPool) SelectFastestCached(fc *ForecastCache, platform string, entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	return p.selectFastest(hyps, func(transfers []TransferRequest) ([]Prediction, error) {
+		return fc.Predict(platform, entry, transfers, nil)
+	})
+}
+
+// defaultPool serves the package-level SelectFastest entry points.
+var defaultPool = sync.OnceValue(func() *WorkerPool { return NewWorkerPool(0) })

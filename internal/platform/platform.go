@@ -290,7 +290,7 @@ type Platform struct {
 	routers map[string]*Router
 	links   map[string]*Link
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	cache map[pairKey]Route
 }
 

@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // RouteBetween resolves the end-to-end route between two hosts (or
@@ -16,15 +17,25 @@ import (
 //  3. when an endpoint is a child AS, recurse from the endpoint to that
 //     AS's gateway for the chosen AS-level route, and splice.
 //
-// Results are memoized; builders invalidate the cache on mutation.
+// Results are memoized; builders invalidate the cache on mutation. The
+// memo is read under a shared lock, so concurrent forecast workers
+// resolving warm routes never serialize on each other; only a cache miss
+// takes the exclusive lock (which also protects the lazily built Floyd
+// tables behind resolve).
 func (p *Platform) RouteBetween(src, dst string) (Route, error) {
 	if src == dst {
 		return Route{}, fmt.Errorf("platform: route from %q to itself", src)
 	}
+	key := pairKey{src, dst}
+	p.mu.RLock()
+	r, ok := p.cache[key]
+	p.mu.RUnlock()
+	if ok {
+		return r, nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	key := pairKey{src, dst}
-	if r, ok := p.cache[key]; ok {
+	if r, ok := p.cache[key]; ok { // raced with another resolver
 		return r, nil
 	}
 	srcAS, err := p.asOf(src)
@@ -35,7 +46,7 @@ func (p *Platform) RouteBetween(src, dst string) (Route, error) {
 	if err != nil {
 		return Route{}, err
 	}
-	r, err := p.resolve(src, srcAS, dst, dstAS)
+	r, err = p.resolve(src, srcAS, dst, dstAS)
 	if err != nil {
 		return Route{}, err
 	}
@@ -200,7 +211,7 @@ func (as *AS) buildFloyd() {
 		names = append(names, n)
 	}
 	// Deterministic order for reproducible tie-breaking.
-	sortStrings(names)
+	sort.Strings(names)
 
 	dist := make(map[pairKey]float64, len(as.edges))
 	next := make(map[pairKey]string, len(as.edges))
@@ -236,16 +247,6 @@ func (as *AS) buildFloyd() {
 	}
 	as.floydNext = next
 	as.floydBuilt = true
-}
-
-func sortStrings(s []string) {
-	// insertion sort; tables are small and this avoids importing sort in
-	// the hot path file. Kept simple on purpose.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // RouteStats summarizes resolved-route storage, used by the flat-vs-

@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"pilgrim/internal/flow"
 	"pilgrim/internal/platform"
@@ -32,24 +31,34 @@ const (
 )
 
 // activity is one simulated resource consumer: a communication or a
-// computation.
+// computation. Activities live in the Engine's slot arena; completed
+// activities release their slot for reuse, so the arena size tracks the
+// peak live count, not the historical total.
 type activity struct {
-	id    ActivityID
-	kind  activityKind
-	phase activityPhase
+	id   ActivityID
+	slot int32 // arena index, stable for the activity's lifetime
+	kind activityKind
 
-	start     float64 // requested start date
-	latLeft   float64 // remaining latency phase (comm)
-	remaining float64 // bytes (comm) or flops (exec)
-	rate      float64 // current allocation
+	phase      activityPhase
+	persistent bool // background flow: shares bandwidth, never completes
+
+	start   float64 // requested start date
+	latLeft float64 // remaining latency phase (comm)
+
+	// Lazy progress accounting: remaining is authoritative as of
+	// lastUpdate only. While the rate is constant the activity's progress
+	// is implied by its projected completion date (its event-heap key);
+	// remaining is settled — advanced to the current date under the
+	// outgoing rate — exactly when the rate changes or the activity
+	// fires. A resharing therefore costs O(touched · log n), not O(n).
+	remaining  float64 // bytes (comm) or flops (exec) left at lastUpdate
+	lastUpdate float64 // date remaining was last settled
+	rate       float64 // current allocation
 
 	// comm fields
 	links  []platform.LinkUse
 	weight float64
 	bound  float64
-	// persistent flows model background traffic: they share bandwidth but
-	// never complete and generate no events.
-	persistent bool
 
 	// exec fields
 	host *platform.Host
@@ -57,53 +66,136 @@ type activity struct {
 	// fv is the live flow-system variable while the activity is in
 	// phaseActive (nil for timers). It is inserted on activation and
 	// removed on completion, so the max-min system mutates incrementally
-	// instead of being rebuilt per event.
+	// instead of being rebuilt per event. The variable's Data backref
+	// points here.
 	fv *flow.Variable
 
-	finished float64 // completion date, valid when phase == phaseDone
-	onDone   func(now float64)
+	onDone func(now float64)
+}
+
+// dueEvent is one popped heap entry awaiting processing. The id guards
+// against a slot being retired and reused by an onDone callback while the
+// rest of the batch is still being processed.
+type dueEvent struct {
+	slot int32
+	id   ActivityID
 }
 
 // Engine is the discrete-event kernel. It is not safe for concurrent use;
 // the MSG layer serializes access.
+//
+// The kernel is built around an indexed min-heap of per-activity
+// next-event dates: a scheduled activity is keyed by its start date, a
+// communication in latency phase by its latency-end date, and an active
+// activity by its projected completion date under its current rate. A
+// Step pops the due events in O(log n) each, and a resharing re-keys only
+// the activities whose rate the incremental solver actually changed
+// (flow.System.Touched) — so the per-event cost is proportional to the
+// disturbed component, never to the total live-activity count.
 type Engine struct {
 	cfg  Config
 	plat *platform.Platform
 
-	now         float64
-	nextID      ActivityID
-	acts        map[ActivityID]*activity
-	order       []ActivityID // deterministic iteration order over live activities
-	dirty       bool         // sharing must be recomputed
-	needCompact bool         // done activities await removal from order
+	now    float64
+	nextID ActivityID
+
+	// Dense activity arena. arena is indexed by slot; completed slots go
+	// through pendingFree (callbacks may retire activities while Step is
+	// iterating a batch) into freeSlots and are reused by the next add,
+	// struct and all.
+	arena       []*activity
+	freeSlots   []int32
+	pendingFree []int32
+	live        int
+
+	// Per-ActivityID bookkeeping (ids are never reused): the owning slot
+	// while live (-1 once retired), and the completion date (NaN while
+	// live) answering Done queries after the slot is recycled.
+	slotOf []int32
+	doneAt []float64
+
+	// Indexed min-heap of next-event dates, keyed (date, id) so ties pop
+	// in activity-id order — the deterministic processing order the
+	// scan-based kernel had. heapPos maps slot -> heap index (-1 absent).
+	heapKey  []float64
+	heapSlot []int32
+	heapPos  []int32
+
+	due []dueEvent // scratch batch of popped events, reused across Steps
+
+	dirty bool // sharing must be recomputed
 
 	// sys is the single long-lived max-min system of the simulation.
 	// Constraints (link directions, host CPUs) are created lazily on
 	// first use and kept forever; activity variables come and go as
 	// activities start and complete, and each resharing re-solves only
 	// the components those changes disturbed.
-	sys    *flow.System
-	cnsts  map[constraintKey]*flow.Constraint
-	varAct map[*flow.Variable]*activity // live variable -> owning activity
+	sys   *flow.System
+	cnsts map[constraintKey]*flow.Constraint
 
 	events int // sharing recomputations, for benchmarks
+
+	pooled bool // eligible for the engine pool (created by AcquireEngine)
+	inPool bool // currently sitting in the pool's free list
 }
 
 // NewEngine creates an engine over the given platform with the given
 // model configuration.
 func NewEngine(plat *platform.Platform, cfg Config) *Engine {
 	return &Engine{
-		cfg:    cfg,
-		plat:   plat,
-		acts:   make(map[ActivityID]*activity),
-		sys:    flow.NewSystem(),
-		cnsts:  make(map[constraintKey]*flow.Constraint),
-		varAct: make(map[*flow.Variable]*activity),
+		cfg:   cfg,
+		plat:  plat,
+		sys:   flow.NewSystem(),
+		cnsts: make(map[constraintKey]*flow.Constraint),
 	}
+}
+
+// Reset returns the engine to its initial state — simulated time zero, no
+// activities, no constraints, activity ids restarting from zero — while
+// keeping every internal buffer: the arena structs, the event heap's
+// storage, the flow system's recycled variables and constraints, and the
+// constraint map's buckets. A reset engine is observably identical to a
+// fresh NewEngine (same ids, same solver serials, bit-identical results)
+// but re-running a same-shaped workload allocates almost nothing. Callers
+// must drop any ActivityID obtained before the reset.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.nextID = 0
+	e.live = 0
+	// Rebuild the free list in descending slot order so reuse hands out
+	// slots 0, 1, 2, ... exactly like a fresh engine's appends. Stale
+	// structs from the previous run (live ones, if it was abandoned
+	// mid-flight) are neutralized: the arena-wide cold scans (stall
+	// detection, dumpLive) skip phaseDone entries, and a stale id must
+	// never index the truncated slotOf slice.
+	e.freeSlots = e.freeSlots[:0]
+	for i := len(e.arena) - 1; i >= 0; i-- {
+		e.freeSlots = append(e.freeSlots, int32(i))
+		e.heapPos[i] = -1
+		a := e.arena[i]
+		a.phase = phaseDone
+		a.fv = nil
+		a.onDone = nil
+		a.links = nil
+		a.host = nil
+	}
+	e.pendingFree = e.pendingFree[:0]
+	e.slotOf = e.slotOf[:0]
+	e.doneAt = e.doneAt[:0]
+	e.heapKey = e.heapKey[:0]
+	e.heapSlot = e.heapSlot[:0]
+	e.due = e.due[:0]
+	e.dirty = false
+	e.events = 0
+	e.sys.Reset()
+	clear(e.cnsts)
 }
 
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// Live returns the number of live (not yet completed) activities.
+func (e *Engine) Live() int { return e.live }
 
 // Resharings returns how many times bandwidth sharing was recomputed —
 // the cost driver of a simulation, reported by benchmarks.
@@ -139,14 +231,161 @@ func (e *Engine) SharingStats() SharingStats {
 // Platform returns the simulated platform.
 func (e *Engine) Platform() *platform.Platform { return e.plat }
 
-func (e *Engine) add(a *activity) ActivityID {
-	a.id = e.nextID
-	e.nextID++
-	e.acts[a.id] = a
-	e.order = append(e.order, a.id)
-	e.dirty = true
-	return a.id
+// heap primitives ----------------------------------------------------------
+
+func (e *Engine) heapLess(i, j int) bool {
+	if e.heapKey[i] != e.heapKey[j] {
+		return e.heapKey[i] < e.heapKey[j]
+	}
+	return e.arena[e.heapSlot[i]].id < e.arena[e.heapSlot[j]].id
 }
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heapKey[i], e.heapKey[j] = e.heapKey[j], e.heapKey[i]
+	e.heapSlot[i], e.heapSlot[j] = e.heapSlot[j], e.heapSlot[i]
+	e.heapPos[e.heapSlot[i]] = int32(i)
+	e.heapPos[e.heapSlot[j]] = int32(j)
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.heapLess(i, p) {
+			return
+		}
+		e.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heapKey)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && e.heapLess(r, l) {
+			m = r
+		}
+		if !e.heapLess(m, i) {
+			return
+		}
+		e.heapSwap(i, m)
+		i = m
+	}
+}
+
+func (e *Engine) heapPush(slot int32, key float64) {
+	i := len(e.heapKey)
+	e.heapKey = append(e.heapKey, key)
+	e.heapSlot = append(e.heapSlot, slot)
+	e.heapPos[slot] = int32(i)
+	e.siftUp(i)
+}
+
+// heapFix updates slot's key in place, inserting the slot if absent.
+func (e *Engine) heapFix(slot int32, key float64) {
+	i := int(e.heapPos[slot])
+	if i < 0 {
+		e.heapPush(slot, key)
+		return
+	}
+	old := e.heapKey[i]
+	if key == old {
+		return
+	}
+	e.heapKey[i] = key
+	if key < old {
+		e.siftUp(i)
+	} else {
+		e.siftDown(i)
+	}
+}
+
+func (e *Engine) heapRemove(slot int32) {
+	i := int(e.heapPos[slot])
+	if i < 0 {
+		return
+	}
+	n := len(e.heapKey) - 1
+	if i != n {
+		e.heapSwap(i, n)
+	}
+	e.heapPos[slot] = -1
+	e.heapKey = e.heapKey[:n]
+	e.heapSlot = e.heapSlot[:n]
+	if i != n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+// arena primitives ---------------------------------------------------------
+
+// add installs the template in a (possibly recycled) arena slot, registers
+// its start event, and returns the new activity id.
+func (e *Engine) add(tmpl activity) ActivityID {
+	id := e.nextID
+	e.nextID++
+	var slot int32
+	if n := len(e.freeSlots); n > 0 {
+		slot = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+		*e.arena[slot] = tmpl
+	} else {
+		slot = int32(len(e.arena))
+		a := new(activity)
+		*a = tmpl
+		e.arena = append(e.arena, a)
+		e.heapPos = append(e.heapPos, -1)
+	}
+	a := e.arena[slot]
+	a.id = id
+	a.slot = slot
+	e.slotOf = append(e.slotOf, slot)
+	e.doneAt = append(e.doneAt, math.NaN())
+	e.live++
+	e.heapPush(slot, a.start)
+	e.dirty = true
+	return id
+}
+
+// lookup returns the live activity with the given id, or nil.
+func (e *Engine) lookup(id ActivityID) *activity {
+	if id < 0 || int(id) >= len(e.slotOf) {
+		return nil
+	}
+	slot := e.slotOf[id]
+	if slot < 0 {
+		return nil
+	}
+	return e.arena[slot]
+}
+
+// retire releases a finished activity's slot for reuse. The release is
+// deferred to the next Step boundary because retire runs inside Step's
+// batch loop (and from onDone callbacks), where an immediate reuse could
+// alias an entry of the batch being processed.
+func (e *Engine) retire(a *activity) {
+	e.slotOf[a.id] = -1
+	e.live--
+	a.onDone = nil
+	a.links = nil
+	a.host = nil
+	e.pendingFree = append(e.pendingFree, a.slot)
+}
+
+func (e *Engine) drainFree() {
+	if len(e.pendingFree) == 0 {
+		return
+	}
+	e.freeSlots = append(e.freeSlots, e.pendingFree...)
+	e.pendingFree = e.pendingFree[:0]
+}
+
+// public scheduling API ----------------------------------------------------
 
 // AddComm schedules a communication of size bytes from src to dst starting
 // at date start (>= Now). onDone, if non-nil, runs when it completes.
@@ -161,7 +400,7 @@ func (e *Engine) AddComm(src, dst string, size, start float64, onDone func(now f
 	if err != nil {
 		return 0, err
 	}
-	a := &activity{
+	return e.add(activity{
 		kind:      commActivity,
 		phase:     phaseScheduled,
 		start:     start,
@@ -171,8 +410,7 @@ func (e *Engine) AddComm(src, dst string, size, start float64, onDone func(now f
 		weight:    1 / e.cfg.rttWeight(route.Latency),
 		bound:     e.cfg.windowBound(route.Latency),
 		onDone:    onDone,
-	}
-	return e.add(a), nil
+	}), nil
 }
 
 // AddBackgroundFlow installs a persistent flow from src to dst that
@@ -185,26 +423,20 @@ func (e *Engine) AddBackgroundFlow(src, dst string, start float64) (ActivityID, 
 	if err != nil {
 		return 0, err
 	}
-	e.acts[id].persistent = true
+	e.lookup(id).persistent = true
 	return id, nil
 }
 
 // RemoveBackgroundFlow withdraws a persistent flow.
 func (e *Engine) RemoveBackgroundFlow(id ActivityID) error {
-	a, ok := e.acts[id]
-	if !ok || !a.persistent || a.phase == phaseDone {
+	a := e.lookup(id)
+	if a == nil || !a.persistent || a.phase == phaseDone {
 		return fmt.Errorf("sim: no background flow %d", id)
 	}
 	a.phase = phaseDone
-	a.finished = e.now
-	e.deactivate(a)
-	// Background flows never appear in Step's completed list, so request
-	// compaction — otherwise repeated add/remove churn would grow the
-	// scan list without bound. The compaction itself is deferred to the
-	// end of the next Step: this method may be called from an onDone
-	// callback while Step is ranging over e.order, and rewriting the
-	// backing array mid-iteration would corrupt that loop.
-	e.needCompact = true
+	e.doneAt[id] = e.now
+	e.deactivate(a) // also drops the start event when removed before activation
+	e.retire(a)
 	return nil
 }
 
@@ -221,15 +453,14 @@ func (e *Engine) AddExec(host string, flops, start float64, onDone func(now floa
 	if h == nil {
 		return 0, fmt.Errorf("sim: unknown host %q", host)
 	}
-	a := &activity{
+	return e.add(activity{
 		kind:      execActivity,
 		phase:     phaseScheduled,
 		start:     start,
 		remaining: flops,
 		host:      h,
 		onDone:    onDone,
-	}
-	return e.add(a), nil
+	}), nil
 }
 
 // AddTimer schedules a pure time event firing duration seconds after
@@ -241,24 +472,28 @@ func (e *Engine) AddTimer(duration, start float64, onDone func(now float64)) (Ac
 	if start < e.now {
 		return 0, fmt.Errorf("sim: start date %v is in the past (now %v)", start, e.now)
 	}
-	a := &activity{
+	return e.add(activity{
 		kind:      timerActivity,
 		phase:     phaseScheduled,
 		start:     start,
 		remaining: duration,
 		rate:      1,
 		onDone:    onDone,
-	}
-	return e.add(a), nil
+	}), nil
 }
 
 // Done reports whether the activity has completed, and at what date.
 func (e *Engine) Done(id ActivityID) (bool, float64) {
-	a, ok := e.acts[id]
-	if !ok {
+	if id < 0 || int(id) >= len(e.slotOf) {
 		return false, 0
 	}
-	return a.phase == phaseDone, a.finished
+	if e.slotOf[id] >= 0 {
+		return false, 0
+	}
+	if at := e.doneAt[id]; !math.IsNaN(at) {
+		return true, at
+	}
+	return false, 0
 }
 
 // constraintKey identifies one shared resource in the LMM system.
@@ -285,9 +520,13 @@ func (e *Engine) constraintFor(k constraintKey, capacity float64) *flow.Constrai
 	return c
 }
 
-// activate inserts the activity's flow variable into the max-min system
-// (timers consume no resources and get none).
+// activate moves the activity to its consuming phase: comms and execs get
+// a flow variable in the max-min system (their event key is assigned by
+// the resharing at the next Step, once a rate is known); timers get their
+// fixed expiry key directly.
 func (e *Engine) activate(a *activity) {
+	a.phase = phaseActive
+	a.lastUpdate = e.now
 	switch a.kind {
 	case commActivity:
 		bound := a.bound
@@ -300,9 +539,10 @@ func (e *Engine) activate(a *activity) {
 				}
 			}
 		}
-		v := e.sys.NewVariable(fmt.Sprintf("comm%d", a.id), a.weight, bound)
+		v := e.sys.NewVariable("", a.weight, bound)
+		v.SetData(a)
 		a.fv = v
-		e.varAct[v] = a
+		a.rate = 0
 		for _, u := range a.links {
 			switch u.Link.Policy {
 			case platform.Shared:
@@ -329,189 +569,168 @@ func (e *Engine) activate(a *activity) {
 			}
 		}
 	case execActivity:
-		v := e.sys.NewVariable(fmt.Sprintf("exec%d", a.id), 1, 0)
+		v := e.sys.NewVariable("", 1, 0)
+		v.SetData(a)
 		a.fv = v
-		e.varAct[v] = a
+		a.rate = 0
 		c := e.constraintFor(constraintKey{host: a.host}, a.host.Speed)
 		e.sys.MustAttach(v, c)
+	case timerActivity:
+		e.heapPush(a.slot, e.now+a.remaining)
 	}
 	e.dirty = true
 }
 
 // deactivate withdraws the activity's flow variable, releasing its
-// bandwidth to the components it crossed.
+// bandwidth to the components it crossed, and drops any pending heap
+// entry.
 func (e *Engine) deactivate(a *activity) {
 	if a.fv != nil {
-		delete(e.varAct, a.fv)
+		a.fv.SetData(nil)
 		e.sys.RemoveVariable(a.fv)
 		a.fv = nil
 	}
+	e.heapRemove(a.slot)
 	e.dirty = true
 }
 
 // reshare re-solves bandwidth sharing after membership changes. Only the
-// flow components disturbed since the previous resharing are recomputed,
-// and only their rates are copied back; every other activity keeps its
-// allocation untouched.
+// flow components disturbed since the previous resharing are recomputed;
+// for each variable whose rate actually changed, the owning activity's
+// remaining work is settled under the outgoing rate and its completion
+// projection is re-keyed in the event heap — everything else keeps both
+// its allocation and its heap key untouched.
 func (e *Engine) reshare() error {
 	e.events++
 	if err := e.sys.Solve(); err != nil {
 		return fmt.Errorf("sim: sharing: %w", err)
 	}
 	for _, v := range e.sys.Touched() {
-		if a, ok := e.varAct[v]; ok {
-			a.rate = v.Rate()
+		a, _ := v.Data().(*activity)
+		if a == nil {
+			continue
 		}
+		r := v.Rate()
+		if r == a.rate {
+			continue // projection unchanged; keep the existing key
+		}
+		if a.phase != phaseActive || a.persistent {
+			a.rate = r
+			continue
+		}
+		// Lazy progress accounting: settle remaining under the rate that
+		// held since lastUpdate, then project the completion date under
+		// the new rate.
+		if e.now > a.lastUpdate {
+			a.remaining -= a.rate * (e.now - a.lastUpdate)
+			if a.remaining < 0 {
+				a.remaining = 0
+			}
+		}
+		a.lastUpdate = e.now
+		a.rate = r
+		key := math.Inf(1)
+		if r > 0 {
+			key = e.now + a.remaining/r
+		}
+		e.heapFix(a.slot, key)
 	}
 	e.dirty = false
 	return nil
-}
-
-// completionEps is the byte/flop tolerance below which an activity is
-// considered finished, guarding against floating-point residue.
-const completionEps = 1e-6
-
-// nextEventTime returns the earliest upcoming event date, or +Inf when no
-// event is pending.
-func (e *Engine) nextEventTime() float64 {
-	t := math.Inf(1)
-	for _, id := range e.order {
-		a := e.acts[id]
-		switch a.phase {
-		case phaseScheduled:
-			if a.start < t {
-				t = a.start
-			}
-		case phaseLatency:
-			if et := e.now + a.latLeft; et < t {
-				t = et
-			}
-		case phaseActive:
-			if a.persistent {
-				continue
-			}
-			if a.rate > 0 {
-				if et := e.now + a.remaining/a.rate; et < t {
-					t = et
-				}
-			}
-		}
-	}
-	return t
 }
 
 // Step advances simulated time to the next event and processes it.
 // It returns the activities completed at the new time, and ok=false when
 // no event remains (simulation finished or stalled).
 func (e *Engine) Step() (completed []ActivityID, ok bool, err error) {
+	e.drainFree()
 	if e.dirty {
 		if err := e.reshare(); err != nil {
 			return nil, false, err
 		}
 	}
-	t := e.nextEventTime()
-	if math.IsInf(t, 1) {
-		// Detect stalls: an active non-persistent activity with zero rate
-		// can never finish (e.g. a zero-capacity link).
-		for _, id := range e.order {
-			a := e.acts[id]
-			if a.phase == phaseActive && !a.persistent && a.rate <= 0 {
+	if len(e.heapKey) == 0 || math.IsInf(e.heapKey[0], 1) {
+		// No reachable event. Detect stalls: an active non-persistent
+		// activity with zero rate can never finish (e.g. a zero-capacity
+		// link).
+		for _, a := range e.arena {
+			if a.phase == phaseActive && !a.persistent && a.rate <= 0 &&
+				e.slotOf[a.id] == a.slot {
 				return nil, false, fmt.Errorf("sim: activity %d stalled with zero rate", a.id)
 			}
 		}
 		return nil, false, nil
 	}
-	dt := t - e.now
-	if dt < 0 {
+	t := e.heapKey[0]
+	if t < e.now {
 		return nil, false, fmt.Errorf("sim: time went backwards (%v -> %v)", e.now, t)
-	}
-
-	// Advance all in-flight activities by dt.
-	for _, id := range e.order {
-		a := e.acts[id]
-		switch a.phase {
-		case phaseLatency:
-			a.latLeft -= dt
-		case phaseActive:
-			if !a.persistent {
-				a.remaining -= a.rate * dt
-			}
-		}
 	}
 	e.now = t
 
-	// Process state changes due now.
-	for _, id := range e.order {
-		a := e.acts[id]
+	// Pop the batch due now. Entries tie-break on (date, id), so the
+	// batch — and therefore the completed list — comes out in activity-id
+	// order, the processing order of the scan-based kernel.
+	e.due = e.due[:0]
+	for len(e.heapKey) > 0 && e.heapKey[0] <= t {
+		slot := e.heapSlot[0]
+		e.due = append(e.due, dueEvent{slot: slot, id: e.arena[slot].id})
+		e.heapRemove(slot)
+	}
+
+	for _, ev := range e.due {
+		a := e.arena[ev.slot]
+		if a.id != ev.id || a.phase == phaseDone {
+			// Retired (and possibly recycled) by a callback earlier in
+			// this batch.
+			continue
+		}
 		switch a.phase {
 		case phaseScheduled:
-			if a.start <= e.now+1e-15 {
-				if a.kind == commActivity && a.latLeft > 0 {
-					a.phase = phaseLatency
-				} else {
-					a.phase = phaseActive
-					e.activate(a)
-				}
-			}
-		case phaseLatency:
-			// The residue comparison is relative to the current date:
-			// once latLeft falls below the floating-point resolution of
-			// now, time can no longer advance by it (now + latLeft ==
-			// now) and the phase must be considered over.
-			if a.latLeft <= 1e-15+e.now*1e-12 {
-				a.latLeft = 0
-				a.phase = phaseActive
+			if a.kind == commActivity && a.latLeft > 0 {
+				a.phase = phaseLatency
+				e.heapPush(ev.slot, e.now+a.latLeft)
+			} else {
 				e.activate(a)
 			}
+		case phaseLatency:
+			a.latLeft = 0
+			e.activate(a)
 		case phaseActive:
-			// Completion when the residue is below the absolute epsilon
-			// or too small to advance simulated time (the remaining
-			// duration is under the floating-point resolution of now) —
-			// the second clause prevents a zero-dt stall near the end of
-			// long simulations.
-			if !a.persistent && (a.remaining <= completionEps || a.remaining <= a.rate*e.now*1e-12) {
-				a.remaining = 0
-				a.phase = phaseDone
-				a.finished = e.now
-				e.deactivate(a)
-				completed = append(completed, a.id)
-				if a.onDone != nil {
-					a.onDone(e.now)
-				}
+			if a.persistent {
+				continue
 			}
+			a.remaining = 0
+			a.phase = phaseDone
+			e.doneAt[a.id] = e.now
+			e.deactivate(a)
+			completed = append(completed, a.id)
+			if a.onDone != nil {
+				a.onDone(e.now)
+			}
+			e.retire(a)
 		}
 	}
-	if len(completed) > 0 || e.needCompact {
-		e.compactOrder()
-		e.needCompact = false
-	}
-	sort.Slice(completed, func(i, j int) bool { return completed[i] < completed[j] })
 	return completed, true, nil
-}
-
-// compactOrder drops completed activities from the iteration order so the
-// per-event scans stay proportional to the live activity count. The
-// activities themselves remain in the map for Done queries.
-func (e *Engine) compactOrder() {
-	live := e.order[:0]
-	for _, id := range e.order {
-		if e.acts[id].phase != phaseDone {
-			live = append(live, id)
-		}
-	}
-	e.order = live
 }
 
 // RunToCompletion steps the engine until no event remains. The returned
 // count is the number of activities that completed.
 //
 // A defensive event budget turns scheduling bugs (stalled zero-dt loops)
-// into diagnosable errors instead of hangs: activities generate a bounded
-// number of events each (arrival, latency end, completion), so exceeding
-// a generous multiple of the activity count is a bug by construction.
+// into diagnosable errors instead of hangs: each activity generates a
+// bounded number of events (arrival, latency end, completion), so a run
+// exceeding a generous multiple of the activities that can produce events
+// in THIS run — those live at entry plus those spawned since — is a bug
+// by construction. Scaling with that figure rather than the engine's
+// historical total keeps the budget meaningful for long-lived engines
+// (background-flow churn in testbed sessions no longer inflates it), and
+// still grows with mid-run spawning so workflow chains never trip it
+// spuriously.
 func (e *Engine) RunToCompletion() (int, error) {
 	total := 0
 	steps := 0
+	base := e.live
+	spawned0 := int(e.nextID)
 	for {
 		done, ok, err := e.Step()
 		if err != nil {
@@ -522,7 +741,7 @@ func (e *Engine) RunToCompletion() (int, error) {
 			return total, nil
 		}
 		steps++
-		if steps > 100*(len(e.acts)+10) {
+		if steps > 100*(base+int(e.nextID)-spawned0+10) {
 			return total, fmt.Errorf("sim: event budget exhausted at t=%v: %s", e.now, e.dumpLive())
 		}
 	}
@@ -531,9 +750,8 @@ func (e *Engine) RunToCompletion() (int, error) {
 // dumpLive renders non-done activities for stall diagnostics.
 func (e *Engine) dumpLive() string {
 	out := ""
-	for _, id := range e.order {
-		a := e.acts[id]
-		if a.phase == phaseDone {
+	for _, a := range e.arena {
+		if a.phase == phaseDone || e.slotOf[a.id] != a.slot {
 			continue
 		}
 		out += fmt.Sprintf("\n  act %d kind=%d phase=%d start=%v latLeft=%v remaining=%v rate=%v",

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"pilgrim/internal/platform"
+)
+
+// This file implements process-wide engine pooling. A forecast service
+// answers every request by building a simulation, running it for a few
+// hundred events and throwing it away; at production request rates the
+// engine, its event heap, its flow system and all their internal slices
+// become pure allocator churn. The pool recycles complete engines per
+// (platform, configuration): Engine.Reset restarts ids and solver serials
+// from zero, so a recycled engine produces bit-identical results to a
+// fresh one — pooling is invisible except to the allocator.
+
+// poolKey identifies one engine flavour. Config is a comparable value
+// type, so the pair is usable as a map key directly.
+type poolKey struct {
+	plat *platform.Platform
+	cfg  Config
+}
+
+type enginePool struct {
+	mu   sync.Mutex
+	free []*Engine
+}
+
+// The pool is bounded in both dimensions so it can never pin memory
+// without limit: at most maxPoolKeys (platform, config) flavours are
+// retained — a flavour's map key holds the Platform alive, so dropping
+// stale flavours lets rebuilt platforms (e.g. a periodic reference
+// refresh) be collected — and each flavour parks at most maxFreePerPool
+// idle engines (a burst's concurrency high-water mark, not its total).
+// Evicted or surplus engines are simply garbage; Acquire falls back to
+// NewEngine.
+const maxPoolKeys = 64
+
+var maxFreePerPool = 4 * runtime.GOMAXPROCS(0)
+
+var (
+	poolsMu sync.Mutex
+	pools   = make(map[poolKey]*enginePool)
+)
+
+// AcquireEngine returns a ready-to-use engine for the given platform and
+// configuration, recycled from the process-wide pool when one is
+// available. Pass it back with ReleaseEngine when the simulation's
+// results have been read.
+func AcquireEngine(plat *platform.Platform, cfg Config) *Engine {
+	key := poolKey{plat: plat, cfg: cfg}
+	poolsMu.Lock()
+	p, ok := pools[key]
+	if !ok {
+		if len(pools) >= maxPoolKeys {
+			// Evict an arbitrary stale flavour; its parked engines (and,
+			// if nothing else references it, its platform) become
+			// collectable. In-flight engines of that flavour are simply
+			// dropped on release (pools[key] == nil there).
+			for k := range pools {
+				delete(pools, k)
+				break
+			}
+		}
+		p = &enginePool{}
+		pools[key] = p
+	}
+	poolsMu.Unlock()
+
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		e.inPool = false
+		return e
+	}
+	p.mu.Unlock()
+	e := NewEngine(plat, cfg)
+	e.pooled = true
+	return e
+}
+
+// ReleaseEngine resets the engine and returns it to its pool. The caller
+// must not use the engine — or any ActivityID it handed out — afterwards.
+// Engines that did not come from AcquireEngine, and engines already
+// released, are ignored, so Release is always safe to call.
+func ReleaseEngine(e *Engine) {
+	if e == nil || !e.pooled || e.inPool {
+		return
+	}
+	e.Reset()
+	key := poolKey{plat: e.plat, cfg: e.cfg}
+	poolsMu.Lock()
+	p := pools[key]
+	poolsMu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < maxFreePerPool {
+		e.inPool = true
+		p.free = append(p.free, e)
+	}
+	p.mu.Unlock()
+}

@@ -43,6 +43,22 @@ func NewSimulation(plat *platform.Platform, cfg Config) *Simulation {
 	return &Simulation{engine: NewEngine(plat, cfg)}
 }
 
+// NewPooledSimulation is NewSimulation over a recycled engine from the
+// process-wide pool (see AcquireEngine). The behaviour is identical; the
+// caller must call Release once the results have been read.
+func NewPooledSimulation(plat *platform.Platform, cfg Config) *Simulation {
+	return &Simulation{engine: AcquireEngine(plat, cfg)}
+}
+
+// Release returns a pooled simulation's engine to the pool. The
+// simulation (and any result indices into its engine) must not be used
+// afterwards. Safe to call on non-pooled simulations and more than once.
+func (s *Simulation) Release() {
+	e := s.engine
+	s.engine = nil
+	ReleaseEngine(e)
+}
+
 // AddTransfer declares a transfer starting at simulated time 0.
 func (s *Simulation) AddTransfer(src, dst string, size float64) {
 	s.AddTransferAt(src, dst, size, 0)
@@ -100,8 +116,10 @@ func (s *Simulation) Engine() *Engine { return s.engine }
 
 // Predict is a convenience one-shot: simulate the given concurrent
 // transfers (all starting at time 0) on plat and return their durations.
+// The engine comes from (and returns to) the process-wide pool.
 func Predict(plat *platform.Platform, cfg Config, transfers []Transfer) ([]TransferResult, error) {
-	s := &Simulation{engine: NewEngine(plat, cfg)}
+	s := NewPooledSimulation(plat, cfg)
+	defer s.Release()
 	for _, t := range transfers {
 		s.AddTransferAt(t.Src, t.Dst, t.Size, t.Start)
 	}

@@ -26,6 +26,7 @@ type hop struct {
 
 // network is the resolved physical topology: per-node attachment, per-
 // equipment forwarding latency, and path computation between nodes.
+// It is not safe for concurrent use (the owning Testbed serializes).
 type network struct {
 	cfg Config
 	ref *g5k.Reference
@@ -34,6 +35,11 @@ type network struct {
 
 	// per-node info
 	nodes map[string]*nodeInfo // key: FQDN
+
+	// paths memoizes resolved node-pair paths; campaigns re-run the same
+	// pairs across repetitions and sizes. Cached slices are shared and
+	// must not be mutated by callers.
+	paths map[[2]string][]hop
 }
 
 type nodeInfo struct {
@@ -134,6 +140,21 @@ func (n *network) getResource(id string, capacity float64) *resource {
 // nodes. The real path mirrors the structural route of the platform model
 // but with full-duplex resources and hardware latencies.
 func (n *network) path(src, dst string) ([]hop, error) {
+	if hops, ok := n.paths[[2]string{src, dst}]; ok {
+		return hops, nil
+	}
+	hops, err := n.resolvePath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if n.paths == nil {
+		n.paths = make(map[[2]string][]hop)
+	}
+	n.paths[[2]string{src, dst}] = hops
+	return hops, nil
+}
+
+func (n *network) resolvePath(src, dst string) ([]hop, error) {
 	a, ok := n.nodes[src]
 	if !ok {
 		return nil, fmt.Errorf("testbed: unknown node %q", src)

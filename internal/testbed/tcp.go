@@ -31,11 +31,21 @@ type Measurement struct {
 }
 
 // Testbed emulates concurrent TCP transfers on the physical network
-// derived from a Grid'5000 reference description.
+// derived from a Grid'5000 reference description. It is not safe for
+// concurrent use: runs reuse one flow system, constraint table and flow
+// arena across RunTransfers calls (reset per run, so results are
+// bit-identical to fresh state, but steady-state runs allocate little).
 type Testbed struct {
 	cfg Config
 	net *network
 	rng *stats.RNG
+
+	sys   *flow.System
+	cnsts map[*resource]*flow.Constraint
+	flows []*tcpFlow // recycled flow structs, grown to the peak batch size
+
+	nodesCache   []string
+	clusterCache map[[2]string][]string
 }
 
 // New creates a testbed for the reference with the given configuration.
@@ -44,7 +54,13 @@ func New(ref *g5k.Reference, cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Testbed{cfg: cfg, net: net, rng: stats.NewRNG(cfg.Seed)}, nil
+	return &Testbed{
+		cfg:   cfg,
+		net:   net,
+		rng:   stats.NewRNG(cfg.Seed),
+		sys:   flow.NewSystem(),
+		cnsts: make(map[*resource]*flow.Constraint),
+	}, nil
 }
 
 // Reseed restarts the random stream; campaigns call it per repetition so
@@ -109,7 +125,10 @@ func (tb *Testbed) RunTransfers(transfers []Transfer) ([]Measurement, error) {
 	if len(transfers) == 0 {
 		return nil, nil
 	}
-	flows := make([]*tcpFlow, len(transfers))
+	for len(tb.flows) < len(transfers) {
+		tb.flows = append(tb.flows, new(tcpFlow))
+	}
+	flows := tb.flows[:len(transfers)]
 	for i, tr := range transfers {
 		if tr.Size <= 0 || math.IsNaN(tr.Size) || math.IsInf(tr.Size, 0) {
 			return nil, fmt.Errorf("testbed: invalid size %v for %s->%s", tr.Size, tr.Src, tr.Dst)
@@ -129,7 +148,7 @@ func (tb *Testbed) RunTransfers(transfers []Transfer) ([]Measurement, error) {
 				lineCap = h.res.capacity
 			}
 		}
-		f := &tcpFlow{
+		*flows[i] = tcpFlow{
 			idx:        i,
 			hops:       hops,
 			rtt:        rtt,
@@ -143,7 +162,6 @@ func (tb *Testbed) RunTransfers(transfers []Transfer) ([]Measurement, error) {
 			burst:      tr.Size <= tb.cfg.BurstBytes,
 			lineCap:    lineCap,
 		}
-		flows[i] = f
 	}
 
 	if err := tb.simulate(flows); err != nil {
@@ -169,15 +187,18 @@ func (tb *Testbed) RunTransfers(transfers []Transfer) ([]Measurement, error) {
 // every event batch. One flow system lives for the whole run: flows enter
 // it on activation, update their window bound in place, and leave it on
 // completion, so each re-solve only touches the components an event
-// disturbed.
+// disturbed. The system itself is the Testbed's, reset at entry — its
+// serials restart, so a run's results are independent of previous runs
+// while its buffers and recycled structs carry over.
 func (tb *Testbed) simulate(flows []*tcpFlow) error {
 	now := 0.0
 	active := 0
 	remainingFlows := len(flows)
 
-	s := flow.NewSystem()
-	cnsts := make(map[*resource]*flow.Constraint)
-	flowOf := make(map[*flow.Variable]*tcpFlow, len(flows))
+	s := tb.sys
+	s.Reset()
+	clear(tb.cnsts)
+	cnsts := tb.cnsts
 
 	// effBound is the flow's window bound, capped at line rate for
 	// buffered bursts (which ramp independently of the fluid sharing).
@@ -192,9 +213,9 @@ func (tb *Testbed) simulate(flows []*tcpFlow) error {
 	}
 
 	activate := func(f *tcpFlow) error {
-		v := s.NewVariable(fmt.Sprintf("f%d", f.idx), f.weight, effBound(f))
+		v := s.NewVariable("", f.weight, effBound(f))
+		v.SetData(f)
 		f.fv = v
-		flowOf[v] = f
 		if f.burst {
 			return nil // bound-only: no shared constraints
 		}
@@ -219,7 +240,7 @@ func (tb *Testbed) simulate(flows []*tcpFlow) error {
 		// slow-start exit condition (an unchanged rate exits only if the
 		// bound moved, which dirties the flow too).
 		for _, v := range s.Touched() {
-			f, ok := flowOf[v]
+			f, ok := v.Data().(*tcpFlow)
 			if !ok || (f.state != fsSlowStart && f.state != fsSteady) {
 				continue
 			}
@@ -320,8 +341,7 @@ func (tb *Testbed) simulate(flows []*tcpFlow) error {
 					f.remaining = 0
 					f.state = fsDone
 					f.doneAt = now
-					delete(flowOf, f.fv)
-					s.RemoveVariable(f.fv)
+					s.RemoveVariable(f.fv) // clears the Data backref
 					f.fv = nil
 					remainingFlows--
 					active--
@@ -360,18 +380,28 @@ func joinLines(lines []string) string {
 	return out
 }
 
-// Nodes returns the sorted FQDNs of all emulated nodes.
+// Nodes returns the sorted FQDNs of all emulated nodes. The slice is
+// cached and shared; callers must not mutate it.
 func (tb *Testbed) Nodes() []string {
-	out := make([]string, 0, len(tb.net.nodes))
-	for fqdn := range tb.net.nodes {
-		out = append(out, fqdn)
+	if tb.nodesCache == nil {
+		out := make([]string, 0, len(tb.net.nodes))
+		for fqdn := range tb.net.nodes {
+			out = append(out, fqdn)
+		}
+		sort.Strings(out)
+		tb.nodesCache = out
 	}
-	sort.Strings(out)
-	return out
+	return tb.nodesCache
 }
 
-// NodesOfCluster returns the sorted FQDNs of one cluster's nodes.
+// NodesOfCluster returns the sorted FQDNs of one cluster's nodes. The
+// slice is cached and shared; callers must not mutate it (campaigns call
+// this once per repetition).
 func (tb *Testbed) NodesOfCluster(site, cluster string) []string {
+	key := [2]string{site, cluster}
+	if out, ok := tb.clusterCache[key]; ok {
+		return out
+	}
 	var out []string
 	for fqdn, info := range tb.net.nodes {
 		if info.site == site && info.cluster == cluster {
@@ -379,6 +409,10 @@ func (tb *Testbed) NodesOfCluster(site, cluster string) []string {
 		}
 	}
 	sort.Strings(out)
+	if tb.clusterCache == nil {
+		tb.clusterCache = make(map[[2]string][]string)
+	}
+	tb.clusterCache[key] = out
 	return out
 }
 
