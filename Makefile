@@ -5,10 +5,11 @@
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 # The key benchmarks: the two heaviest figure cells, the paper's
-# 30-transfer latency claim, and the hypothesis-selection fan-out.
-KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest
+# 30-transfer latency claim, the hypothesis-selection fan-out, and the
+# snapshot layer's concurrency/copy-on-write claims.
+KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState
 
-.PHONY: all build test vet race bench bench-smoke clean
+.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline clean
 
 all: vet build test
 
@@ -36,5 +37,20 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
+# bench-check runs the key benchmarks and fails when any figure benchmark
+# slowed by more than 25% against the committed baseline. Only the
+# single-threaded figure/prediction benchmarks gate the build: the
+# RunParallel benchmarks scale with the machine's core count and would
+# make a cross-machine comparison meaningless.
+bench-check: bench
+	go run ./cmd/benchdiff -match 'BenchmarkFigure|BenchmarkPredict30Transfers' BENCH_baseline.json BENCH_$(SHA).json
+
+# bench-baseline refreshes the committed baseline from a fresh run; commit
+# the result whenever a PR intentionally shifts performance.
+bench-baseline: bench
+	cp BENCH_$(SHA).json BENCH_baseline.json
+	@echo refreshed BENCH_baseline.json
+
 clean:
-	rm -f bench_*.out BENCH_*.json
+	rm -f bench_*.out
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_baseline.json' -delete

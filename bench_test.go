@@ -18,6 +18,7 @@ import (
 	"pilgrim/internal/g5k"
 	"pilgrim/internal/nws"
 	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platform"
 	"pilgrim/internal/platgen"
 	"pilgrim/internal/sim"
 	"pilgrim/internal/stats"
@@ -226,6 +227,119 @@ func benchSelectFastest(b *testing.B, workers int) {
 
 func BenchmarkSelectFastest8x8Sequential(b *testing.B) { benchSelectFastest(b, 1) }
 func BenchmarkSelectFastest8x8Parallel(b *testing.B)   { benchSelectFastest(b, 0) }
+
+// warmRoutePairs draws a fixed pool of host pairs for the warm-route
+// concurrency benchmarks.
+func warmRoutePairs(b *testing.B) [][2]string {
+	b.Helper()
+	setup(b)
+	hosts := entry.Platform.Hosts()
+	rng := stats.NewRNG(5)
+	idx := rng.Sample(len(hosts), 128)
+	pairs := make([][2]string, 64)
+	for i := range pairs {
+		pairs[i] = [2]string{hosts[idx[i]].ID, hosts[idx[64+i]].ID}
+	}
+	return pairs
+}
+
+// BenchmarkWarmRouteRWMutexParallel measures concurrent warm-route
+// resolution through the builder platform's memo, where every read takes
+// the RWMutex in shared mode — the path all forecast traffic used before
+// compiled snapshots.
+func BenchmarkWarmRouteRWMutexParallel(b *testing.B) {
+	pairs := warmRoutePairs(b)
+	plat := entry.Platform
+	for _, p := range pairs {
+		if _, err := plat.RouteBetween(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := pairs[i&(len(pairs)-1)]
+			i++
+			if _, err := plat.RouteBetween(p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWarmRouteSnapshotParallel is the same workload through the
+// compiled snapshot, where a warm route is one lock-free map load. The
+// throughput gap against the RWMutex variant is the tentpole's
+// concurrency claim.
+func BenchmarkWarmRouteSnapshotParallel(b *testing.B) {
+	pairs := warmRoutePairs(b)
+	snap := entry.Platform.Snapshot()
+	for _, p := range pairs {
+		if _, err := snap.Route(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := pairs[i&(len(pairs)-1)]
+			i++
+			if _, err := snap.Route(p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentPredict30 measures whole warm-route predictions
+// (30 transfers each) issued from concurrent requesters — the production
+// shape of a forecast service under load, where snapshot reads must not
+// serialize the workers.
+func BenchmarkConcurrentPredict30(b *testing.B) {
+	setup(b)
+	rng := stats.NewRNG(42)
+	hosts := entry.Platform.Hosts()
+	var reqs []pilgrim.TransferRequest
+	idx := rng.Sample(len(hosts), 60)
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, pilgrim.TransferRequest{
+			Src: hosts[idx[k]].ID, Dst: hosts[idx[30+k]].ID, Size: 5e8,
+		})
+	}
+	pinned := entry.WithSnapshot()
+	if _, err := pilgrim.PredictTransfers(pinned, reqs, nil); err != nil {
+		b.Fatal(err) // warm routes and engine pool
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := pilgrim.PredictTransfers(pinned, reqs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWithLinkState measures deriving a new epoch from a measurement
+// batch of one link — the copy-on-write fast path of the
+// measure→update→forecast loop.
+func BenchmarkWithLinkState(b *testing.B) {
+	setup(b)
+	snap := entry.Platform.Snapshot()
+	upd := []platform.LinkUpdate{{Link: entry.Platform.Links()[0].ID, Bandwidth: 1e8, Latency: 2e-4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.WithLinkState(upd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkPlatformG5KTest / Cabinets measure generating the two platform
 // flavours of §V-A (the paper: g5k_test is "less optimized ... in size

@@ -1,0 +1,119 @@
+// Command benchdiff compares two benchjson documents (see cmd/benchjson)
+// and fails when any benchmark present in both regressed beyond a
+// threshold in ns/op. CI runs it after `make bench` against the committed
+// BENCH_baseline.json, so a slowdown in a figure benchmark breaks the
+// build instead of landing silently:
+//
+//	benchdiff [-threshold 0.25] [-match regexp] baseline.json current.json
+//
+// The exit status is 1 when at least one benchmark slowed by more than
+// threshold (default 25%). Improvements and new/removed benchmarks are
+// reported but never fail the comparison; CI noise is expected, so the
+// threshold should stay well above run-to-run jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type entry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type doc struct {
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var d doc
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(d.Benchmarks))
+	for _, b := range d.Benchmarks {
+		if b.NsPerOp > 0 {
+			out[b.Name] = b.NsPerOp
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	match := flag.String("match", "", "only compare benchmarks matching this regexp (default: all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] [-match re] baseline.json current.json")
+		os.Exit(2)
+	}
+	var filter *regexp.Regexp
+	if *match != "" {
+		var err error
+		if filter, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	compared := 0
+	for _, n := range names {
+		if filter != nil && !filter.MatchString(n) {
+			continue
+		}
+		now, ok := cur[n]
+		if !ok {
+			fmt.Printf("  %-45s removed from current run\n", n)
+			continue
+		}
+		compared++
+		delta := now/base[n] - 1
+		status := "ok"
+		if delta > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %-45s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", n, base[n], now, delta*100, status)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok && (filter == nil || filter.MatchString(n)) {
+			fmt.Printf("  %-45s new (%.0f ns/op), not in baseline\n", n, cur[n])
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common — wrong files?")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% detected\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", compared, *threshold*100)
+}

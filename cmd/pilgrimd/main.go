@@ -9,9 +9,13 @@
 //
 // Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
 // reference description — fetched from a reference API server when
-// -g5k-api is given, otherwise the embedded dataset — and registered
-// under their paper names. An RRD file tree (as written by the metrology
-// collector) can be served with -rrd-tree.
+// -g5k-api is given, otherwise the embedded dataset — compiled into
+// immutable snapshots and registered under their paper names. Live
+// measurements can be folded into a platform at runtime through
+// POST /pilgrim/update_links/{platform} (see docs/API.md); each update
+// publishes a new copy-on-write epoch that subsequent forecasts answer
+// against. An RRD file tree (as written by the metrology collector) can
+// be served with -rrd-tree.
 package main
 
 import (
@@ -71,8 +75,8 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, 
 		if err := registry.Add(variant.String(), pilgrim.PlatformEntry{Platform: plat, Config: cfg}); err != nil {
 			return err
 		}
-		log.Printf("registered platform %s: %d hosts, %d links",
-			variant, plat.NumHosts(), plat.NumLinks())
+		log.Printf("registered platform %s: %d hosts, %d links (epoch %d)",
+			variant, plat.NumHosts(), plat.NumLinks(), plat.Snapshot().Epoch())
 	}
 
 	var metrics *metrology.Registry

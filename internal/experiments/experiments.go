@@ -186,13 +186,16 @@ type Runner struct {
 }
 
 // NewRunner wires a runner from a reference description, a testbed
-// configuration and a forecast platform entry.
+// configuration and a forecast platform entry. The entry's compiled
+// snapshot is pinned up front: a campaign is one coherent experiment, so
+// every cell predicts against the same platform epoch even if the
+// platform is refreshed concurrently.
 func NewRunner(ref *g5k.Reference, tbCfg testbed.Config, entry pilgrim.PlatformEntry) (*Runner, error) {
 	tb, err := testbed.New(ref, tbCfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{Testbed: tb, Entry: entry}, nil
+	return &Runner{Testbed: tb, Entry: entry.WithSnapshot()}, nil
 }
 
 // drawTransfers picks the experiment's transfers for one repetition.

@@ -114,8 +114,17 @@ type Constraint struct {
 	wstale    bool        // a crossing variable fixed since wsum was summed (scratch)
 }
 
-// ID returns the identifier given at creation.
-func (c *Constraint) ID() string { return c.id }
+// ID returns the identifier given at creation. Constraints created with
+// an empty id are named lazily from their creation serial — hot callers
+// (the simulation engines, which address constraints by dense link/host
+// index and recreate them per pooled run) pass "" so no name is ever
+// formatted outside error and debug paths.
+func (c *Constraint) ID() string {
+	if c.id == "" {
+		return "c" + strconv.FormatUint(c.serial, 10)
+	}
+	return c.id
+}
 
 // Capacity returns the total capacity in abstract rate units (B/s in the
 // network model).
@@ -212,6 +221,7 @@ func (s *System) Reset() {
 }
 
 // NewConstraint adds a resource with the given capacity (must be >= 0).
+// An empty id names the constraint lazily (see ID).
 func (s *System) NewConstraint(id string, capacity float64) *Constraint {
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Errorf("flow: constraint %q has invalid capacity %v", id, capacity))
@@ -329,7 +339,7 @@ func (s *System) SetBound(v *Variable, bound float64) {
 func (s *System) Attach(v *Variable, c *Constraint) error {
 	for _, existing := range v.cnsts {
 		if existing == c {
-			return fmt.Errorf("flow: variable %q already attached to constraint %q", v.ID(), c.id)
+			return fmt.Errorf("flow: variable %q already attached to constraint %q", v.ID(), c.ID())
 		}
 	}
 	v.cnsts = append(v.cnsts, c)

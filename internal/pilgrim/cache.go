@@ -8,12 +8,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-
-	"pilgrim/internal/platform"
 )
 
 // ForecastCache memoizes PNFS predictions behind a bounded LRU. A
-// prediction is a pure function of (platform, transfer multiset,
+// prediction is a pure function of (platform epoch, transfer multiset,
 // background-flow multiset): transfers all depart at simulated time 0, so
 // two requests that differ only in parameter order are the same
 // simulation. The cache canonicalizes requests before keying, runs the
@@ -29,14 +27,13 @@ type ForecastCache struct {
 	misses   uint64
 }
 
-// cacheEntry is one memoized answer, predictions in canonical order.
-// plat pins the answered platform for the entry's lifetime: the cache key
-// embeds the platform's address, and holding the pointer guarantees that
-// address cannot be recycled for a different platform while the entry is
-// live.
+// cacheEntry is one memoized answer, predictions in canonical order. The
+// key embeds the snapshot epoch the answer was simulated against; epochs
+// are process-unique and never reused, so an entry can neither alias nor
+// outlive the network picture that produced it — no pointers need
+// pinning.
 type cacheEntry struct {
 	key   string
-	plat  *platform.Platform
 	preds []Prediction
 }
 
@@ -88,13 +85,15 @@ func canonicalize(transfers []TransferRequest) []int {
 
 // cacheKey builds the canonical lookup key. Sizes are keyed by their
 // exact bit pattern so no two distinct workloads collide, and the
-// platform/config identity of the entry is part of the key so two
-// different entries registered under the same name (e.g. the same
-// platform with a different model configuration) never share answers.
+// snapshot epoch and config of the entry are part of the key: epochs are
+// globally unique per network picture, so a link-state update (or a
+// platform rebuild) naturally retires every cached answer computed
+// against the old state, and two entries registered under the same name
+// with different model configurations never share answers.
 func cacheKey(platform string, entry PlatformEntry, transfers []TransferRequest, order []int, background [][2]string) string {
 	var b strings.Builder
 	b.WriteString(platform)
-	fmt.Fprintf(&b, "\x1c%p\x1c%+v", entry.Platform, entry.Config)
+	fmt.Fprintf(&b, "\x1c%d\x1c%+v", entry.snapshot().Epoch(), entry.Config)
 	for _, i := range order {
 		t := transfers[i]
 		b.WriteByte(0x1e)
@@ -123,6 +122,9 @@ func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers
 	if len(transfers) == 0 {
 		return nil, fmt.Errorf("pilgrim: no transfers requested")
 	}
+	// Pin the epoch once: the cache key and the simulation below must see
+	// the same snapshot even if the platform is recompiled mid-request.
+	entry = entry.WithSnapshot()
 	order := canonicalize(transfers)
 	// Background flows are part of the canonical workload too: simulate
 	// them in sorted order so the answer for a logical workload does not
@@ -169,7 +171,7 @@ func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers
 	if fc.capacity > 0 {
 		fc.mu.Lock()
 		if _, ok := fc.entries[key]; !ok { // concurrent request may have filled it
-			fc.entries[key] = fc.lru.PushFront(&cacheEntry{key: key, plat: entry.Platform, preds: canonical})
+			fc.entries[key] = fc.lru.PushFront(&cacheEntry{key: key, preds: canonical})
 			for fc.lru.Len() > fc.capacity {
 				oldest := fc.lru.Back()
 				fc.lru.Remove(oldest)

@@ -16,12 +16,16 @@
 //     containing all requested transfers concurrently, and answers
 //     [{"src":..., "dst":..., "size":..., "duration":...}, ...].
 //
-// Two extensions implement the paper's stated future work (§VI):
+// Three extensions implement the paper's stated future work (§VI):
 //
 //   - GET /pilgrim/select_fastest/{platform}?hypothesis=... simulates n
 //     alternative transfer hypotheses and returns the fastest;
 //   - the predict_transfers "bg=src,dst" parameter injects known
-//     background traffic into the simulation.
+//     background traffic into the simulation;
+//   - POST /pilgrim/update_links/{platform} folds measured link state
+//     (NWS/iperf bandwidth, latency) into a new copy-on-write platform
+//     epoch, so subsequent forecasts answer against the live network
+//     picture — the paper's dynamic measure→update→forecast loop.
 //
 // PNFS answers are memoized by a bounded LRU ForecastCache keyed by the
 // canonicalized (platform, transfers, background) triple, so a resource
@@ -33,50 +37,115 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pilgrim/internal/platform"
 	"pilgrim/internal/sim"
 )
 
 // PlatformEntry couples a simulated platform with the model configuration
-// used to simulate it.
+// used to simulate it. Snapshot optionally pins the compiled platform
+// epoch predictions are answered against; when nil, the platform's
+// current base snapshot is used. Entries handed out by a Registry always
+// carry the registry's live epoch.
 type PlatformEntry struct {
 	Platform *platform.Platform
 	Config   sim.Config
+	Snapshot *platform.Snapshot
+}
+
+// snapshot returns the compiled epoch this entry answers against.
+func (e PlatformEntry) snapshot() *platform.Snapshot {
+	if e.Snapshot != nil {
+		return e.Snapshot
+	}
+	return e.Platform.Snapshot()
+}
+
+// WithSnapshot returns the entry with its epoch pinned (compiling the
+// platform's base snapshot if none was set). Callers that must answer a
+// coherent batch of queries — a campaign, a benchmark — pin once and
+// reuse the entry.
+func (e PlatformEntry) WithSnapshot() PlatformEntry {
+	e.Snapshot = e.snapshot()
+	return e
+}
+
+// regEntry is one registered platform: the immutable registration plus
+// the live compiled epoch. snap is an atomic pointer so the forecast path
+// loads the current epoch without any lock, and a measurement batch
+// publishes a new epoch with one store.
+type regEntry struct {
+	plat *platform.Platform
+	cfg  sim.Config
+	snap atomic.Pointer[platform.Snapshot]
 }
 
 // Registry holds the named platforms a Pilgrim instance can predict on
-// (the paper's g5k_test and g5k_cabinets).
+// (the paper's g5k_test and g5k_cabinets), each with its current
+// link-state epoch.
 type Registry struct {
 	mu      sync.RWMutex
-	entries map[string]PlatformEntry
+	entries map[string]*regEntry
 }
 
 // NewRegistry returns an empty platform registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]PlatformEntry)}
+	return &Registry{entries: make(map[string]*regEntry)}
 }
 
-// Add registers a platform under a name.
+// Add registers a platform under a name. The platform is compiled
+// eagerly: the registry always serves a ready snapshot.
 func (r *Registry) Add(name string, entry PlatformEntry) error {
 	if name == "" || entry.Platform == nil {
 		return fmt.Errorf("pilgrim: invalid platform registration %q", name)
 	}
+	re := &regEntry{plat: entry.Platform, cfg: entry.Config}
+	re.snap.Store(entry.snapshot())
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
 		return fmt.Errorf("pilgrim: platform %q already registered", name)
 	}
-	r.entries[name] = entry
+	r.entries[name] = re
 	return nil
 }
 
-// Get returns the platform registered under name.
+// Get returns the platform registered under name, pinned to its current
+// link-state epoch.
 func (r *Registry) Get(name string) (PlatformEntry, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[name]
-	return e, ok
+	re, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return PlatformEntry{}, false
+	}
+	return PlatformEntry{Platform: re.plat, Config: re.cfg, Snapshot: re.snap.Load()}, true
+}
+
+// UpdateLinkState folds a batch of measured link revisions into the named
+// platform: a new epoch is derived by copy-on-write from the current one
+// and published atomically. Concurrent in-flight forecasts keep the epoch
+// they loaded; subsequent requests (and the forecast cache, which keys by
+// epoch) see the new picture. Returns the published snapshot.
+func (r *Registry) UpdateLinkState(name string, updates []platform.LinkUpdate) (*platform.Snapshot, error) {
+	r.mu.RLock()
+	re, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pilgrim: unknown platform %q", name)
+	}
+	for {
+		cur := re.snap.Load()
+		next, err := cur.WithLinkState(updates)
+		if err != nil {
+			return nil, err
+		}
+		if re.snap.CompareAndSwap(cur, next) {
+			return next, nil
+		}
+		// Lost a race with a concurrent update; rebase on the new epoch.
+	}
 }
 
 // Names returns the sorted registered platform names.
@@ -115,7 +184,7 @@ func PredictTransfers(entry PlatformEntry, transfers []TransferRequest, backgrou
 	if len(transfers) == 0 {
 		return nil, fmt.Errorf("pilgrim: no transfers requested")
 	}
-	s := sim.NewPooledSimulation(entry.Platform, entry.Config)
+	s := sim.NewPooledSnapshotSimulation(entry.snapshot(), entry.Config)
 	defer s.Release()
 	for _, bg := range background {
 		s.AddBackgroundFlow(bg[0], bg[1])

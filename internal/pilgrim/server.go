@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pilgrim/internal/metrology"
+	"pilgrim/internal/platform"
 	"pilgrim/internal/rrd"
 	"pilgrim/internal/workflow"
 )
@@ -52,6 +53,7 @@ func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 	s.mux.HandleFunc("GET /pilgrim/predict_transfers/{platform}", s.handlePredict)
 	s.mux.HandleFunc("GET /pilgrim/select_fastest/{platform}", s.handleSelectFastest)
 	s.mux.HandleFunc("POST /pilgrim/predict_workflow/{platform}", s.handleWorkflow)
+	s.mux.HandleFunc("POST /pilgrim/update_links/{platform}", s.handleUpdateLinks)
 	s.mux.HandleFunc("GET /pilgrim/cache_stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}/", s.handleRRD)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}", s.handleRRD)
@@ -214,6 +216,79 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, forecast)
+}
+
+// linkUpdateJSON is one element of the update_links request body. Omitted
+// fields keep the link's current value.
+type linkUpdateJSON struct {
+	Link      string   `json:"link"`
+	Bandwidth *float64 `json:"bandwidth,omitempty"` // bytes per second
+	Latency   *float64 `json:"latency,omitempty"`   // seconds, one way
+}
+
+// handleUpdateLinks closes the paper's measure→update→forecast loop: a
+// metrology agent POSTs measured link state, the registry derives a new
+// copy-on-write snapshot epoch, and every subsequent forecast (and cache
+// key) is answered against the revised picture.
+//
+//	POST /pilgrim/update_links/g5k_test
+//	[{"link": "sagittaire-1.lyon.grid5000.fr_nic", "bandwidth": 9.1e7}]
+//
+// The body is a JSON array of {"link", "bandwidth", "latency"} objects;
+// bandwidth is in bytes/s, latency in seconds, and omitted fields keep
+// the current value. The answer reports the published epoch.
+func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("platform")
+	if _, ok := s.platforms.Get(name); !ok {
+		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
+		return
+	}
+	var body []linkUpdateJSON
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("decoding link updates: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 {
+		http.Error(w, "at least one link update required", http.StatusBadRequest)
+		return
+	}
+	updates := make([]platform.LinkUpdate, len(body))
+	for i, u := range body {
+		if u.Link == "" {
+			http.Error(w, fmt.Sprintf("update %d: missing link id", i), http.StatusBadRequest)
+			return
+		}
+		if u.Bandwidth == nil && u.Latency == nil {
+			http.Error(w, fmt.Sprintf("update %d (%s): bandwidth or latency required", i, u.Link), http.StatusBadRequest)
+			return
+		}
+		upd := platform.LinkUpdate{Link: u.Link, Bandwidth: -1, Latency: -1}
+		if u.Bandwidth != nil {
+			if *u.Bandwidth <= 0 || math.IsNaN(*u.Bandwidth) || math.IsInf(*u.Bandwidth, 0) {
+				http.Error(w, fmt.Sprintf("update %d (%s): invalid bandwidth %v", i, u.Link, *u.Bandwidth), http.StatusBadRequest)
+				return
+			}
+			upd.Bandwidth = *u.Bandwidth
+		}
+		if u.Latency != nil {
+			if *u.Latency < 0 || math.IsNaN(*u.Latency) || math.IsInf(*u.Latency, 0) {
+				http.Error(w, fmt.Sprintf("update %d (%s): invalid latency %v", i, u.Link, *u.Latency), http.StatusBadRequest)
+				return
+			}
+			upd.Latency = *u.Latency
+		}
+		updates[i] = upd
+	}
+	snap, err := s.platforms.UpdateLinkState(name, updates)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, struct {
+		Platform string `json:"platform"`
+		Epoch    uint64 `json:"epoch"`
+		Updated  int    `json:"links_updated"`
+	}{Platform: name, Epoch: snap.Epoch(), Updated: len(updates)})
 }
 
 // handleRRD implements the metrology service (§IV-C1):

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SharingPolicy describes how concurrent flows share one link.
@@ -261,9 +262,13 @@ type AS struct {
 	// Full routing: explicit routes between local netpoint names.
 	routes map[pairKey]Route
 
-	// Floyd routing: declared one-hop edges; all-pairs table built lazily.
+	// Floyd routing: declared one-hop edges; the all-pairs next-hop table
+	// is built lazily on dense indices over the sorted point names
+	// (floydNext is the flattened n×n matrix, -1 when unreachable).
 	edges      map[pairKey]Route
-	floydNext  map[pairKey]string
+	floydNames []string
+	floydIdx   map[string]int32
+	floydNext  []int32
 	floydBuilt bool
 
 	// Cluster routing: per-host private link and optional backbone.
@@ -283,7 +288,10 @@ type AS struct {
 //
 // Building a platform is not safe for concurrent use; once built, route
 // resolution (RouteBetween) may be called from multiple goroutines — the
-// forecast service resolves routes from concurrent HTTP requests.
+// forecast service resolves routes from concurrent HTTP requests. For the
+// lock-free read path the forecast layers actually serve from, see
+// Snapshot: Compile lowers the platform into an immutable integer-indexed
+// form, memoized here and invalidated on mutation.
 type Platform struct {
 	root    *AS
 	hosts   map[string]*Host
@@ -292,6 +300,10 @@ type Platform struct {
 
 	mu    sync.RWMutex
 	cache map[pairKey]Route
+
+	// snap memoizes the compiled base-epoch snapshot (see snapshot.go);
+	// builders drop it on every mutation via InvalidateRouteCache.
+	snap atomic.Pointer[Snapshot]
 }
 
 // New creates a platform whose root AS has the given id and routing kind.
@@ -370,12 +382,14 @@ func (p *Platform) NumHosts() int { return len(p.hosts) }
 // NumLinks returns the number of links on the platform.
 func (p *Platform) NumLinks() int { return len(p.links) }
 
-// InvalidateRouteCache drops memoized end-to-end routes. Builders call it
-// automatically; it is exported for tests and tooling.
+// InvalidateRouteCache drops memoized end-to-end routes and the compiled
+// snapshot memo. Builders call it automatically; it is exported for tests
+// and tooling. Snapshots already handed out are immutable and unaffected.
 func (p *Platform) InvalidateRouteCache() {
 	p.mu.Lock()
 	p.cache = make(map[pairKey]Route)
 	p.mu.Unlock()
+	p.snap.Store(nil)
 }
 
 // AddAS creates a child AS.

@@ -182,21 +182,23 @@ func (as *AS) floydRoute(src, dst string) (Route, error) {
 	if !as.floydBuilt {
 		as.buildFloyd()
 	}
-	if _, ok := as.points[src]; !ok {
+	si, ok := as.floydIdx[src]
+	if !ok {
 		return Route{}, fmt.Errorf("platform: %q unknown in Floyd AS %q", src, as.ID)
 	}
-	if _, ok := as.points[dst]; !ok {
+	di, ok := as.floydIdx[dst]
+	if !ok {
 		return Route{}, fmt.Errorf("platform: %q unknown in Floyd AS %q", dst, as.ID)
 	}
-	// Reconstruct the path from the next-hop table.
+	// Reconstruct the path from the next-hop matrix.
+	n := int32(len(as.floydNames))
 	var r Route
-	cur := src
-	for cur != dst {
-		next, ok := as.floydNext[pairKey{cur, dst}]
-		if !ok {
+	for cur := si; cur != di; {
+		next := as.floydNext[cur*n+di]
+		if next < 0 {
 			return Route{}, fmt.Errorf("platform: no Floyd path %s->%s in AS %q", src, dst, as.ID)
 		}
-		edge := as.edges[pairKey{cur, next}]
+		edge := as.edges[pairKey{as.floydNames[cur], as.floydNames[next]}]
 		r.Links = append(r.Links, edge.Links...)
 		r.Latency += edge.Latency
 		cur = next
@@ -204,7 +206,13 @@ func (as *AS) floydRoute(src, dst string) (Route, error) {
 	return r, nil
 }
 
-// buildFloyd runs Floyd-Warshall over the declared edges.
+// buildFloyd runs Floyd-Warshall over the declared edges on dense index
+// matrices: points map to indices over the sorted name list, and distance
+// and next-hop live in flat n×n arrays — no map hashing in the O(n³)
+// relaxation. Tie-breaking is identical to the historical map-based
+// implementation (see TestBuildFloydMatchesMapReference): names are
+// visited in sorted order, an unreachable pair behaves as +Inf, and the
+// same epsilons apply.
 func (as *AS) buildFloyd() {
 	names := make([]string, 0, len(as.points))
 	for n := range as.points {
@@ -212,39 +220,51 @@ func (as *AS) buildFloyd() {
 	}
 	// Deterministic order for reproducible tie-breaking.
 	sort.Strings(names)
+	n := len(names)
+	idx := make(map[string]int32, n)
+	for i, name := range names {
+		idx[name] = int32(i)
+	}
 
-	dist := make(map[pairKey]float64, len(as.edges))
-	next := make(map[pairKey]string, len(as.edges))
+	dist := make([]float64, n*n)
+	next := make([]int32, n*n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		next[i] = -1
+	}
 	for k, e := range as.edges {
 		// Edge cost: latency with a small per-hop epsilon so that
 		// zero-latency platforms still prefer fewer hops.
+		i, j := int(idx[k.src]), int(idx[k.dst])
 		c := e.Latency + 1e-12
-		if old, ok := dist[k]; !ok || c < old {
-			dist[k] = c
-			next[k] = k.dst
+		if c < dist[i*n+j] {
+			dist[i*n+j] = c
+			next[i*n+j] = int32(j)
 		}
 	}
-	for _, k := range names {
-		for _, i := range names {
-			dik, ok := dist[pairKey{i, k}]
-			if !ok {
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := dist[i*n+k]
+			if math.IsInf(dik, 1) {
 				continue
 			}
-			for _, j := range names {
+			for j := 0; j < n; j++ {
 				if i == j {
 					continue
 				}
-				dkj, ok := dist[pairKey{k, j}]
-				if !ok {
+				dkj := dist[k*n+j]
+				if math.IsInf(dkj, 1) {
 					continue
 				}
-				if dij, ok := dist[pairKey{i, j}]; !ok || dik+dkj < dij-1e-15 {
-					dist[pairKey{i, j}] = dik + dkj
-					next[pairKey{i, j}] = next[pairKey{i, k}]
+				if dik+dkj < dist[i*n+j]-1e-15 {
+					dist[i*n+j] = dik + dkj
+					next[i*n+j] = next[i*n+k]
 				}
 			}
 		}
 	}
+	as.floydNames = names
+	as.floydIdx = idx
 	as.floydNext = next
 	as.floydBuilt = true
 }
@@ -316,7 +336,15 @@ func (p *Platform) Validate(sampleLimit int) error {
 	}
 	hosts := p.Hosts()
 	if sampleLimit > 0 && len(hosts) > sampleLimit {
-		hosts = hosts[:sampleLimit]
+		// Stride-sample across the whole sorted host list. Taking the
+		// first N names would land entirely inside one cluster on
+		// Grid'5000-style platforms (names sort by cluster), silently
+		// skipping every inter-cluster and inter-site route.
+		sampled := make([]*Host, 0, sampleLimit)
+		for i := 0; i < sampleLimit; i++ {
+			sampled = append(sampled, hosts[i*len(hosts)/sampleLimit])
+		}
+		hosts = sampled
 	}
 	for _, a := range hosts {
 		for _, b := range hosts {

@@ -1,0 +1,718 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// This file implements the compiled platform layer: Compile lowers the
+// builder-friendly, string-keyed Platform into an immutable Snapshot in
+// which hosts, routers and links carry dense int32 indices, resolved
+// routes are index slices, and link state (bandwidth/latency) lives in
+// flat arrays separate from the topology.
+//
+// The split mirrors what SimGrid itself converged on to stay scalable
+// (Casanova et al., arXiv:1309.1630): a mutable description you build
+// once, compiled into a compact read-only routing representation you
+// query millions of times. Here the compiled form additionally carries an
+// *epoch*: Snapshot.WithLinkState derives a new snapshot by copy-on-write
+// of only the link-state pages — topology and resolved routes are shared
+// between epochs — so folding a batch of live measurements (NWS/iperf)
+// into the forecast picture costs O(changed links), not O(platform).
+//
+// Concurrency: a Snapshot is immutable after Compile; every read — index
+// lookups, link state, route resolution — is lock-free. Cold route
+// resolutions race benignly on an atomic publish (both compute the same
+// immutable value; the first wins). This is what lets concurrent forecast
+// workers resolve warm routes without serializing on the RWMutex that
+// guards the builder Platform's route memo.
+
+// LinkRef packs one link traversal of a compiled route into an int32: the
+// link's dense index shifted left by two bits, or-ed with the traversal
+// Direction. Routes held by simulation activities are []LinkRef — three
+// words per route instead of a pointer-chasing []LinkUse.
+type LinkRef int32
+
+// MakeLinkRef packs a link index and a direction.
+func MakeLinkRef(link int32, d Direction) LinkRef {
+	return LinkRef(link<<2) | LinkRef(d)
+}
+
+// LinkIndex returns the dense link index of the traversal.
+func (r LinkRef) LinkIndex() int32 { return int32(r) >> 2 }
+
+// Direction returns the traversal direction.
+func (r LinkRef) Direction() Direction { return Direction(r & 3) }
+
+// CompiledRoute is a resolved end-to-end path in index form: the ordered
+// link traversals and the sum of their latencies at the base epoch.
+// Callers needing the latency under the *current* epoch (after link-state
+// updates) go through Snapshot.RouteLatency.
+type CompiledRoute struct {
+	Refs    []LinkRef
+	Latency float64
+}
+
+// Link-state pages. Bandwidth and latency are stored in fixed-size pages
+// behind a page table; WithLinkState copies the page table (a slice of
+// pointers, ~len(links)/64 words) and duplicates only the pages holding
+// changed entries, so a measurement batch allocates proportionally to the
+// links it touches, never to the platform.
+const (
+	statePageShift = 6
+	statePageSize  = 1 << statePageShift
+	statePageMask  = statePageSize - 1
+)
+
+type statePage [statePageSize]float64
+
+// snapshotEpochs hands out process-unique epoch numbers. Epochs are never
+// reused — across platforms, recompiles and link-state updates — so an
+// epoch number identifies one exact network picture forever. The forecast
+// cache keys entries by it instead of pinning platform pointers.
+var snapshotEpochs atomic.Uint64
+
+// LinkUpdate revises one link's state in a new epoch, typically from a
+// live measurement. Bandwidth is in bytes per second; a value <= 0 (or
+// NaN) keeps the current bandwidth. Latency is in seconds; a value < 0
+// (or NaN) keeps the current latency.
+type LinkUpdate struct {
+	Link      string
+	Bandwidth float64
+	Latency   float64
+}
+
+// Snapshot is one epoch of a compiled platform: shared immutable topology
+// plus this epoch's link-state pages. All methods are safe for concurrent
+// use and lock-free.
+type Snapshot struct {
+	topo  *topology
+	epoch uint64
+
+	// Current link state, paged copy-on-write across epochs.
+	bw  []*statePage
+	lat []*statePage
+
+	// latDirty records that some epoch in this snapshot's history revised
+	// a latency; when false, route latencies are served straight from the
+	// compiled base sums.
+	latDirty bool
+}
+
+// topology is the immutable compiled structure shared by all epochs of a
+// platform: dense indices, per-AS route tables, the eager route arena and
+// the published route memo.
+type topology struct {
+	src *Platform // the builder this snapshot was compiled from
+
+	hostNames []string
+	hostSpeed []float64
+
+	// Endpoints (route sources/destinations): hosts first (endpoint id ==
+	// host index), then routers, both in sorted name order.
+	pointNames []string
+	pointIdx   map[string]int32
+	pointAS    []int32 // endpoint id -> owning AS index
+
+	linkNames  []string
+	linkIdx    map[string]int32
+	linkPolicy []SharingPolicy
+	linkBW0    []float64 // base-epoch bandwidth
+	linkLat0   []float64 // base-epoch latency
+
+	ases  []snapAS
+	arena []LinkRef // shared storage for all eagerly compiled routes
+
+	// routes publishes end-to-end resolutions on demand through a
+	// two-level table of atomic pointers: one row per source endpoint,
+	// allocated on the source's first resolution, with one slot per
+	// destination. A warm read is two atomic loads and an array index —
+	// no lock, no hashing — so concurrent forecast workers never touch a
+	// shared cache line outside the routes themselves. Cold resolutions
+	// race benignly: both compute the identical immutable route and the
+	// first CompareAndSwap wins. Memory: one row costs 8·numPoints bytes,
+	// paid only for endpoints that actually source traffic.
+	routes []atomic.Pointer[routeRow]
+}
+
+// routeRow holds the published routes out of one source endpoint.
+type routeRow struct {
+	slots []atomic.Pointer[CompiledRoute]
+}
+
+// routeRef is a slice of the shared arena plus the route's base latency.
+type routeRef struct {
+	off, n int32
+	lat    float64
+}
+
+// snapASRoute is a compiled AS-level route: gateways as endpoint ids and
+// the connecting links in the arena.
+type snapASRoute struct {
+	gwSrc, gwDst     int32
+	gwSrcAS, gwDstAS int32
+	links            routeRef
+}
+
+// snapAS is the compiled form of one AS. Netpoints are addressed by
+// *codes*: endpoints (hosts/routers) use their endpoint id, child ASes
+// use numPoints + their AS index — globally unique, so per-AS tables can
+// be keyed by packed code pairs without string hashing.
+type snapAS struct {
+	id      string
+	routing RoutingKind
+	code    int32   // this AS's own point code (in its parent's tables)
+	chain   []int32 // ancestry as AS indices, root-first, self included
+
+	// Full routing: explicit local routes keyed by packed codes.
+	full map[uint64]routeRef
+
+	// Floyd routing, compiled eagerly on dense local indices: fCode maps a
+	// point code to its local index, fNext is the flattened n×n next-hop
+	// matrix (-1 when unreachable), fEdge holds the declared one-hop
+	// routes keyed by packed local index pairs.
+	fN    int32
+	fCode map[int32]int32
+	fNext []int32
+	fEdge map[uint64]routeRef
+
+	// Cluster routing: per-host private link index, optional backbone
+	// link index (-1 none) and gateway router endpoint id (-1 none).
+	clPrivate map[int32]int32
+	clBB      int32
+	clRouter  int32
+
+	// AS-level routes between child points, keyed by packed codes.
+	asRoutes map[uint64]snapASRoute
+}
+
+func packPair(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// Compile lowers the platform into a fresh base-epoch snapshot. The
+// platform must not be mutated concurrently (the builder API is already
+// documented as single-threaded); the result is immutable and safe to
+// share. Most callers want Snapshot, which memoizes the compilation until
+// the next mutation.
+func (p *Platform) Compile() *Snapshot {
+	// Floyd tables are built lazily by the query path under p.mu; take the
+	// same lock so compiling during live traffic is safe.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	t := &topology{src: p}
+
+	// Dense host/link indices in sorted-name order (matching Hosts/Links).
+	hostNames := make([]string, 0, len(p.hosts))
+	for n := range p.hosts {
+		hostNames = append(hostNames, n)
+	}
+	sort.Strings(hostNames)
+	routerNames := make([]string, 0, len(p.routers))
+	for n := range p.routers {
+		routerNames = append(routerNames, n)
+	}
+	sort.Strings(routerNames)
+	t.hostNames = hostNames
+	t.hostSpeed = make([]float64, len(hostNames))
+	t.pointNames = make([]string, 0, len(hostNames)+len(routerNames))
+	t.pointNames = append(t.pointNames, hostNames...)
+	t.pointNames = append(t.pointNames, routerNames...)
+	t.pointIdx = make(map[string]int32, len(t.pointNames))
+	for i, n := range t.pointNames {
+		t.pointIdx[n] = int32(i)
+	}
+	for i, n := range hostNames {
+		t.hostSpeed[i] = p.hosts[n].Speed
+	}
+
+	linkNames := make([]string, 0, len(p.links))
+	for n := range p.links {
+		linkNames = append(linkNames, n)
+	}
+	sort.Strings(linkNames)
+	t.linkNames = linkNames
+	t.linkIdx = make(map[string]int32, len(linkNames))
+	t.linkPolicy = make([]SharingPolicy, len(linkNames))
+	t.linkBW0 = make([]float64, len(linkNames))
+	t.linkLat0 = make([]float64, len(linkNames))
+	for i, n := range linkNames {
+		l := p.links[n]
+		t.linkIdx[n] = int32(i)
+		t.linkPolicy[i] = l.Policy
+		t.linkBW0[i] = l.Bandwidth
+		t.linkLat0[i] = l.Latency
+	}
+
+	// Enumerate ASes depth-first and compile each.
+	asIdx := make(map[*AS]int32)
+	var collect func(as *AS)
+	collect = func(as *AS) {
+		asIdx[as] = int32(len(t.ases))
+		t.ases = append(t.ases, snapAS{})
+		for _, c := range as.Children() {
+			collect(c)
+		}
+	}
+	collect(p.root)
+
+	t.pointAS = make([]int32, len(t.pointNames))
+	for i, n := range t.pointNames {
+		if h, ok := p.hosts[n]; ok {
+			t.pointAS[i] = asIdx[h.AS]
+		} else {
+			t.pointAS[i] = asIdx[p.routers[n].AS]
+		}
+	}
+
+	numPoints := int32(len(t.pointNames))
+	codeOf := func(as *AS, name string) int32 {
+		switch as.points[name] {
+		case ASPoint:
+			return numPoints + asIdx[as.children[name]]
+		default:
+			return t.pointIdx[name]
+		}
+	}
+
+	var compileAS func(as *AS)
+	compileAS = func(as *AS) {
+		idx := asIdx[as]
+		sa := &t.ases[idx]
+		sa.id = as.ID
+		sa.routing = as.Routing
+		sa.code = numPoints + idx
+		var chain []int32
+		for _, anc := range as.ancestry() {
+			chain = append(chain, asIdx[anc])
+		}
+		sa.chain = chain
+		sa.clBB, sa.clRouter = -1, -1
+
+		pushLinks := func(links []LinkUse, lat float64) routeRef {
+			off := int32(len(t.arena))
+			for _, u := range links {
+				t.arena = append(t.arena, MakeLinkRef(t.linkIdx[u.Link.ID], u.Direction))
+			}
+			return routeRef{off: off, n: int32(len(links)), lat: lat}
+		}
+
+		switch as.Routing {
+		case RoutingFull:
+			sa.full = make(map[uint64]routeRef, len(as.routes))
+			for k, r := range as.routes {
+				sa.full[packPair(codeOf(as, k.src), codeOf(as, k.dst))] = pushLinks(r.Links, r.Latency)
+			}
+		case RoutingFloyd:
+			if !as.floydBuilt {
+				as.buildFloyd()
+			}
+			n := int32(len(as.floydNames))
+			sa.fN = n
+			sa.fCode = make(map[int32]int32, n)
+			for li, name := range as.floydNames {
+				sa.fCode[codeOf(as, name)] = int32(li)
+			}
+			sa.fNext = append([]int32(nil), as.floydNext...)
+			sa.fEdge = make(map[uint64]routeRef, len(as.edges))
+			for k, e := range as.edges {
+				li, lj := as.floydIdx[k.src], as.floydIdx[k.dst]
+				sa.fEdge[packPair(li, lj)] = pushLinks(e.Links, e.Latency)
+			}
+		case RoutingCluster:
+			sa.clPrivate = make(map[int32]int32, len(as.clusterPrivate))
+			for host, l := range as.clusterPrivate {
+				sa.clPrivate[t.pointIdx[host]] = t.linkIdx[l.ID]
+			}
+			if as.clusterBB != nil {
+				sa.clBB = t.linkIdx[as.clusterBB.ID]
+			}
+			if as.clusterRouter != "" {
+				sa.clRouter = t.pointIdx[as.clusterRouter]
+			}
+		}
+
+		sa.asRoutes = make(map[uint64]snapASRoute, len(as.asRoutes))
+		for k, ar := range as.asRoutes {
+			car := snapASRoute{gwSrc: -1, gwDst: -1, links: pushLinks(ar.links, ar.latency)}
+			if gi, ok := t.pointIdx[ar.gwSrc]; ok {
+				car.gwSrc, car.gwSrcAS = gi, t.pointAS[gi]
+			}
+			if gi, ok := t.pointIdx[ar.gwDst]; ok {
+				car.gwDst, car.gwDstAS = gi, t.pointAS[gi]
+			}
+			sa.asRoutes[packPair(codeOf(as, k.src), codeOf(as, k.dst))] = car
+		}
+
+		for _, c := range as.Children() {
+			compileAS(c)
+		}
+	}
+	compileAS(p.root)
+
+	t.routes = make([]atomic.Pointer[routeRow], len(t.pointNames))
+
+	s := &Snapshot{
+		topo:  t,
+		epoch: snapshotEpochs.Add(1),
+		bw:    buildPages(t.linkBW0),
+		lat:   buildPages(t.linkLat0),
+	}
+	return s
+}
+
+// buildPages packs a flat array into state pages.
+func buildPages(vals []float64) []*statePage {
+	pages := make([]*statePage, (len(vals)+statePageMask)>>statePageShift)
+	for pi := range pages {
+		pg := new(statePage)
+		copy(pg[:], vals[pi<<statePageShift:min((pi+1)<<statePageShift, len(vals))])
+		pages[pi] = pg
+	}
+	return pages
+}
+
+// Snapshot returns the platform's memoized base-epoch snapshot, compiling
+// it on first use. Builder mutations invalidate the memo (via
+// InvalidateRouteCache), so the returned snapshot always reflects the
+// current structure — but once handed out it never changes: callers that
+// must answer a coherent batch of queries hold on to one Snapshot.
+func (p *Platform) Snapshot() *Snapshot {
+	if s := p.snap.Load(); s != nil {
+		return s
+	}
+	s := p.Compile()
+	if p.snap.CompareAndSwap(nil, s) {
+		return s
+	}
+	return p.snap.Load()
+}
+
+// Epoch returns the process-unique epoch number of this snapshot's
+// network picture.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Platform returns the builder platform this snapshot was compiled from.
+func (s *Snapshot) Platform() *Platform { return s.topo.src }
+
+// NumHosts returns the number of hosts.
+func (s *Snapshot) NumHosts() int { return len(s.topo.hostNames) }
+
+// NumLinks returns the number of links.
+func (s *Snapshot) NumLinks() int { return len(s.topo.linkNames) }
+
+// HostIndex returns the dense index of the named host.
+func (s *Snapshot) HostIndex(name string) (int32, bool) {
+	i, ok := s.topo.pointIdx[name]
+	if !ok || int(i) >= len(s.topo.hostNames) {
+		return -1, false
+	}
+	return i, true
+}
+
+// HostName returns the name of host i.
+func (s *Snapshot) HostName(i int32) string { return s.topo.hostNames[i] }
+
+// HostSpeed returns the speed (flops) of host i.
+func (s *Snapshot) HostSpeed(i int32) float64 { return s.topo.hostSpeed[i] }
+
+// LinkIndex returns the dense index of the named link.
+func (s *Snapshot) LinkIndex(name string) (int32, bool) {
+	i, ok := s.topo.linkIdx[name]
+	return i, ok
+}
+
+// LinkName returns the name of link i.
+func (s *Snapshot) LinkName(i int32) string { return s.topo.linkNames[i] }
+
+// LinkPolicy returns the sharing policy of link i (topology-level: shared
+// across epochs).
+func (s *Snapshot) LinkPolicy(i int32) SharingPolicy { return s.topo.linkPolicy[i] }
+
+// LinkBandwidth returns link i's bandwidth (bytes/s) at this epoch.
+func (s *Snapshot) LinkBandwidth(i int32) float64 {
+	return s.bw[i>>statePageShift][i&statePageMask]
+}
+
+// LinkLatency returns link i's one-way latency (seconds) at this epoch.
+func (s *Snapshot) LinkLatency(i int32) float64 {
+	return s.lat[i>>statePageShift][i&statePageMask]
+}
+
+// WithLinkState derives a new epoch with the given link revisions applied.
+// Topology, compiled routes and unchanged link-state pages are shared with
+// the receiver; only the page table and the pages holding changed entries
+// are copied, so the cost is O(changed links) regardless of platform
+// size. The receiver is unaffected.
+func (s *Snapshot) WithLinkState(updates []LinkUpdate) (*Snapshot, error) {
+	ns := &Snapshot{
+		topo:     s.topo,
+		epoch:    snapshotEpochs.Add(1),
+		bw:       append([]*statePage(nil), s.bw...),
+		lat:      append([]*statePage(nil), s.lat...),
+		latDirty: s.latDirty,
+	}
+	// cowSet writes val into its page, duplicating the page the first time
+	// this derivation touches it: a page still shared with the parent is
+	// recognized by pointer equality against the parent's table.
+	cowSet := func(pages, parent []*statePage, i int32, val float64) {
+		pi := i >> statePageShift
+		if pages[pi] == parent[pi] {
+			pg := *pages[pi]
+			pages[pi] = &pg
+		}
+		pages[pi][i&statePageMask] = val
+	}
+	for _, u := range updates {
+		i, ok := s.topo.linkIdx[u.Link]
+		if !ok {
+			return nil, fmt.Errorf("platform: unknown link %q in link-state update", u.Link)
+		}
+		if u.Bandwidth > 0 && !math.IsNaN(u.Bandwidth) && !math.IsInf(u.Bandwidth, 0) {
+			cowSet(ns.bw, s.bw, i, u.Bandwidth)
+		}
+		if u.Latency >= 0 && !math.IsNaN(u.Latency) && !math.IsInf(u.Latency, 0) {
+			if u.Latency != ns.LinkLatency(i) {
+				ns.latDirty = true
+			}
+			cowSet(ns.lat, s.lat, i, u.Latency)
+		}
+	}
+	return ns, nil
+}
+
+// RouteLatency returns the route's one-way latency under this epoch's
+// link state. While no epoch in the snapshot's history revised a latency
+// this is the compiled base sum verbatim; afterwards the per-link deltas
+// against the base state are folded in (links back at their base value
+// contribute an exact 0), so a round-trip of updates restores the
+// original bits.
+func (s *Snapshot) RouteLatency(r *CompiledRoute) float64 {
+	if !s.latDirty {
+		return r.Latency
+	}
+	lat := r.Latency
+	for _, ref := range r.Refs {
+		i := ref.LinkIndex()
+		lat += s.LinkLatency(i) - s.topo.linkLat0[i]
+	}
+	return lat
+}
+
+// Route resolves the end-to-end route between two hosts (or routers) in
+// compiled form. Resolution mirrors Platform.RouteBetween — same AS walk,
+// same tables, bit-identical link order and latency sums — but reads only
+// immutable compiled state: warm routes are a lock-free map load, cold
+// ones a pure computation published for the next caller. The returned
+// route is shared and must not be mutated.
+func (s *Snapshot) Route(src, dst string) (*CompiledRoute, error) {
+	if src == dst {
+		return nil, fmt.Errorf("platform: route from %q to itself", src)
+	}
+	t := s.topo
+	si, ok := t.pointIdx[src]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown endpoint %q", src)
+	}
+	di, ok := t.pointIdx[dst]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown endpoint %q", dst)
+	}
+	return t.route(si, di)
+}
+
+// RouteIdx is Route addressed by endpoint indices (a host's endpoint id
+// is its host index).
+func (s *Snapshot) RouteIdx(src, dst int32) (*CompiledRoute, error) {
+	if src == dst {
+		return nil, fmt.Errorf("platform: route from %q to itself", s.topo.pointNames[src])
+	}
+	return s.topo.route(src, dst)
+}
+
+func (t *topology) route(src, dst int32) (*CompiledRoute, error) {
+	row := t.routes[src].Load()
+	if row == nil {
+		fresh := &routeRow{slots: make([]atomic.Pointer[CompiledRoute], len(t.pointNames))}
+		if t.routes[src].CompareAndSwap(nil, fresh) {
+			row = fresh
+		} else {
+			row = t.routes[src].Load()
+		}
+	}
+	if r := row.slots[dst].Load(); r != nil {
+		return r, nil
+	}
+	r := &CompiledRoute{Refs: make([]LinkRef, 0, 8)}
+	lat, err := t.resolve(src, t.pointAS[src], dst, t.pointAS[dst], &r.Refs)
+	if err != nil {
+		return nil, err
+	}
+	r.Latency = lat
+	if !row.slots[dst].CompareAndSwap(nil, r) {
+		return row.slots[dst].Load(), nil // lost a benign resolution race
+	}
+	return r, nil
+}
+
+// resolve mirrors Platform.resolve on compiled state: find the deepest
+// common ancestor AS, look up the AS-level route between the branches,
+// recurse to the gateways and splice. Latencies are summed bottom-up in
+// the exact association Platform.resolve uses (sub-route totals first,
+// then concatenation), so the result is bit-identical.
+func (t *topology) resolve(src, srcAS int32, dst, dstAS int32, refs *[]LinkRef) (float64, error) {
+	if srcAS == dstAS {
+		return t.localRoute(srcAS, src, dst, refs)
+	}
+	sChain := t.ases[srcAS].chain
+	dChain := t.ases[dstAS].chain
+	common := 0
+	for common < len(sChain) && common < len(dChain) && sChain[common] == dChain[common] {
+		common++
+	}
+	if common == 0 {
+		return 0, fmt.Errorf("platform: %q and %q share no ancestor AS", t.pointNames[src], t.pointNames[dst])
+	}
+	ancestor := &t.ases[sChain[common-1]]
+
+	srcPoint, dstPoint := src, dst
+	haveSrcChild, haveDstChild := false, false
+	if common < len(sChain) {
+		srcPoint = t.ases[sChain[common]].code
+		haveSrcChild = true
+	}
+	if common < len(dChain) {
+		dstPoint = t.ases[dChain[common]].code
+		haveDstChild = true
+	}
+	if !haveSrcChild && !haveDstChild {
+		return t.localRoute(sChain[common-1], src, dst, refs)
+	}
+
+	ar, ok := ancestor.asRoutes[packPair(srcPoint, dstPoint)]
+	if !ok {
+		return 0, fmt.Errorf("platform: no ASroute %s->%s in AS %q (for %s->%s)",
+			t.codeName(srcPoint), t.codeName(dstPoint), ancestor.id,
+			t.pointNames[src], t.pointNames[dst])
+	}
+
+	var lat float64
+	if haveSrcChild && src != ar.gwSrc {
+		if ar.gwSrc < 0 {
+			return 0, fmt.Errorf("platform: unresolvable gateway of ASroute %s->%s in AS %q",
+				t.codeName(srcPoint), t.codeName(dstPoint), ancestor.id)
+		}
+		hl, err := t.resolve(src, srcAS, ar.gwSrc, ar.gwSrcAS, refs)
+		if err != nil {
+			return 0, err
+		}
+		lat += hl
+	}
+	*refs = append(*refs, t.arena[ar.links.off:ar.links.off+ar.links.n]...)
+	lat += ar.links.lat
+	if haveDstChild && dst != ar.gwDst {
+		if ar.gwDst < 0 {
+			return 0, fmt.Errorf("platform: unresolvable gateway of ASroute %s->%s in AS %q",
+				t.codeName(srcPoint), t.codeName(dstPoint), ancestor.id)
+		}
+		tl, err := t.resolve(ar.gwDst, ar.gwDstAS, dst, dstAS, refs)
+		if err != nil {
+			return 0, err
+		}
+		lat += tl
+	}
+	return lat, nil
+}
+
+// codeName renders a point code for error messages.
+func (t *topology) codeName(code int32) string {
+	if int(code) < len(t.pointNames) {
+		return t.pointNames[code]
+	}
+	return t.ases[code-int32(len(t.pointNames))].id
+}
+
+// localRoute resolves a route inside one compiled AS.
+func (t *topology) localRoute(asI int32, src, dst int32, refs *[]LinkRef) (float64, error) {
+	sa := &t.ases[asI]
+	switch sa.routing {
+	case RoutingFull:
+		rr, ok := sa.full[packPair(src, dst)]
+		if !ok {
+			return 0, fmt.Errorf("platform: no route %s->%s in Full AS %q",
+				t.codeName(src), t.codeName(dst), sa.id)
+		}
+		*refs = append(*refs, t.arena[rr.off:rr.off+rr.n]...)
+		return rr.lat, nil
+	case RoutingFloyd:
+		return t.floydRoute(sa, src, dst, refs)
+	case RoutingCluster:
+		return t.clusterRoute(sa, src, dst, refs)
+	default:
+		return 0, fmt.Errorf("platform: AS %q has unsupported routing", sa.id)
+	}
+}
+
+// clusterRoute synthesizes the implicit route of a Cluster AS, adding
+// latencies in the same order as AS.clusterRoute.
+func (t *topology) clusterRoute(sa *snapAS, src, dst int32, refs *[]LinkRef) (float64, error) {
+	var lat float64
+	if up, ok := sa.clPrivate[src]; ok {
+		*refs = append(*refs, MakeLinkRef(up, Up))
+		lat += t.linkLat0[up]
+	} else if src != sa.clRouter {
+		return 0, fmt.Errorf("platform: %q not in cluster AS %q", t.codeName(src), sa.id)
+	}
+	if sa.clBB >= 0 {
+		*refs = append(*refs, MakeLinkRef(sa.clBB, None))
+		lat += t.linkLat0[sa.clBB]
+	}
+	if down, ok := sa.clPrivate[dst]; ok {
+		*refs = append(*refs, MakeLinkRef(down, Down))
+		lat += t.linkLat0[down]
+	} else if dst != sa.clRouter {
+		return 0, fmt.Errorf("platform: %q not in cluster AS %q", t.codeName(dst), sa.id)
+	}
+	return lat, nil
+}
+
+// floydRoute reconstructs the shortest path from the compiled next-hop
+// matrix, splicing the declared edge routes.
+func (t *topology) floydRoute(sa *snapAS, src, dst int32, refs *[]LinkRef) (float64, error) {
+	li, ok := sa.fCode[src]
+	if !ok {
+		return 0, fmt.Errorf("platform: %q unknown in Floyd AS %q", t.codeName(src), sa.id)
+	}
+	lj, ok := sa.fCode[dst]
+	if !ok {
+		return 0, fmt.Errorf("platform: %q unknown in Floyd AS %q", t.codeName(dst), sa.id)
+	}
+	var lat float64
+	for cur := li; cur != lj; {
+		next := sa.fNext[cur*sa.fN+lj]
+		if next < 0 {
+			return 0, fmt.Errorf("platform: no Floyd path %s->%s in AS %q",
+				t.codeName(src), t.codeName(dst), sa.id)
+		}
+		edge := sa.fEdge[packPair(cur, next)]
+		*refs = append(*refs, t.arena[edge.off:edge.off+edge.n]...)
+		lat += edge.lat
+		cur = next
+	}
+	return lat, nil
+}
+
+// ExpandRoute converts a compiled route back to the builder-level link
+// representation (for tooling, diffing and tests; the hot path stays in
+// index form).
+func (s *Snapshot) ExpandRoute(r *CompiledRoute) []LinkUse {
+	out := make([]LinkUse, len(r.Refs))
+	for i, ref := range r.Refs {
+		out[i] = LinkUse{
+			Link:      s.topo.src.links[s.topo.linkNames[ref.LinkIndex()]],
+			Direction: ref.Direction(),
+		}
+	}
+	return out
+}

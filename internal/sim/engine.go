@@ -55,13 +55,14 @@ type activity struct {
 	lastUpdate float64 // date remaining was last settled
 	rate       float64 // current allocation
 
-	// comm fields
-	links  []platform.LinkUse
+	// comm fields. links is the compiled index route (shared with the
+	// platform snapshot; never mutated).
+	links  []platform.LinkRef
 	weight float64
 	bound  float64
 
 	// exec fields
-	host *platform.Host
+	host int32 // dense host index, -1 when not an exec
 
 	// fv is the live flow-system variable while the activity is in
 	// phaseActive (nil for timers). It is inserted on activation and
@@ -92,9 +93,15 @@ type dueEvent struct {
 // the activities whose rate the incremental solver actually changed
 // (flow.System.Touched) — so the per-event cost is proportional to the
 // disturbed component, never to the total live-activity count.
+//
+// The engine runs entirely against one compiled platform Snapshot: routes
+// are index slices, link state is read from the snapshot's epoch arrays
+// (lock-free), and shared-resource constraints are addressed by dense
+// link/host index — flat arrays where the previous kernel hashed a
+// (pointer, direction) map key per traversal.
 type Engine struct {
 	cfg  Config
-	plat *platform.Platform
+	snap *platform.Snapshot
 
 	now    float64
 	nextID ActivityID
@@ -130,8 +137,13 @@ type Engine struct {
 	// first use and kept forever; activity variables come and go as
 	// activities start and complete, and each resharing re-solves only
 	// the components those changes disturbed.
-	sys   *flow.System
-	cnsts map[constraintKey]*flow.Constraint
+	//
+	// linkCnst is indexed by LinkRef (dense link index packed with the
+	// traversal direction) and hostCnst by dense host index, replacing the
+	// previous map[constraintKey] hashing on the activation hot path.
+	sys      *flow.System
+	linkCnst []*flow.Constraint
+	hostCnst []*flow.Constraint
 
 	events int // sharing recomputations, for benchmarks
 
@@ -139,14 +151,22 @@ type Engine struct {
 	inPool bool // currently sitting in the pool's free list
 }
 
-// NewEngine creates an engine over the given platform with the given
-// model configuration.
+// NewEngine creates an engine over the given platform's current base
+// snapshot with the given model configuration.
 func NewEngine(plat *platform.Platform, cfg Config) *Engine {
+	return NewEngineSnapshot(plat.Snapshot(), cfg)
+}
+
+// NewEngineSnapshot creates an engine over one compiled platform epoch.
+// The engine reads only the snapshot, so concurrent engines on different
+// epochs of the same platform never interfere.
+func NewEngineSnapshot(snap *platform.Snapshot, cfg Config) *Engine {
 	return &Engine{
-		cfg:   cfg,
-		plat:  plat,
-		sys:   flow.NewSystem(),
-		cnsts: make(map[constraintKey]*flow.Constraint),
+		cfg:      cfg,
+		snap:     snap,
+		sys:      flow.NewSystem(),
+		linkCnst: make([]*flow.Constraint, snap.NumLinks()<<2),
+		hostCnst: make([]*flow.Constraint, snap.NumHosts()),
 	}
 }
 
@@ -177,7 +197,7 @@ func (e *Engine) Reset() {
 		a.fv = nil
 		a.onDone = nil
 		a.links = nil
-		a.host = nil
+		a.host = -1
 	}
 	e.pendingFree = e.pendingFree[:0]
 	e.slotOf = e.slotOf[:0]
@@ -188,7 +208,8 @@ func (e *Engine) Reset() {
 	e.dirty = false
 	e.events = 0
 	e.sys.Reset()
-	clear(e.cnsts)
+	clear(e.linkCnst)
+	clear(e.hostCnst)
 }
 
 // Now returns the current simulated time in seconds.
@@ -228,8 +249,11 @@ func (e *Engine) SharingStats() SharingStats {
 	}
 }
 
-// Platform returns the simulated platform.
-func (e *Engine) Platform() *platform.Platform { return e.plat }
+// Platform returns the builder platform behind the engine's snapshot.
+func (e *Engine) Platform() *platform.Platform { return e.snap.Platform() }
+
+// Snapshot returns the compiled platform epoch the engine simulates.
+func (e *Engine) Snapshot() *platform.Snapshot { return e.snap }
 
 // heap primitives ----------------------------------------------------------
 
@@ -373,7 +397,7 @@ func (e *Engine) retire(a *activity) {
 	e.live--
 	a.onDone = nil
 	a.links = nil
-	a.host = nil
+	a.host = -1
 	e.pendingFree = append(e.pendingFree, a.slot)
 }
 
@@ -396,19 +420,21 @@ func (e *Engine) AddComm(src, dst string, size, start float64, onDone func(now f
 	if start < e.now {
 		return 0, fmt.Errorf("sim: start date %v is in the past (now %v)", start, e.now)
 	}
-	route, err := e.plat.RouteBetween(src, dst)
+	route, err := e.snap.Route(src, dst)
 	if err != nil {
 		return 0, err
 	}
+	lat := e.snap.RouteLatency(route)
 	return e.add(activity{
 		kind:      commActivity,
 		phase:     phaseScheduled,
 		start:     start,
-		latLeft:   e.cfg.LatencyFactor * route.Latency,
+		latLeft:   e.cfg.LatencyFactor * lat,
 		remaining: size,
-		links:     route.Links,
-		weight:    1 / e.cfg.rttWeight(route.Latency),
-		bound:     e.cfg.windowBound(route.Latency),
+		links:     route.Refs,
+		host:      -1,
+		weight:    1 / e.cfg.rttWeight(lat),
+		bound:     e.cfg.windowBound(lat),
 		onDone:    onDone,
 	}), nil
 }
@@ -449,8 +475,8 @@ func (e *Engine) AddExec(host string, flops, start float64, onDone func(now floa
 	if start < e.now {
 		return 0, fmt.Errorf("sim: start date %v is in the past (now %v)", start, e.now)
 	}
-	h := e.plat.Host(host)
-	if h == nil {
+	hi, ok := e.snap.HostIndex(host)
+	if !ok {
 		return 0, fmt.Errorf("sim: unknown host %q", host)
 	}
 	return e.add(activity{
@@ -458,7 +484,7 @@ func (e *Engine) AddExec(host string, flops, start float64, onDone func(now floa
 		phase:     phaseScheduled,
 		start:     start,
 		remaining: flops,
-		host:      h,
+		host:      hi,
 		onDone:    onDone,
 	}), nil
 }
@@ -478,6 +504,7 @@ func (e *Engine) AddTimer(duration, start float64, onDone func(now float64)) (Ac
 		start:     start,
 		remaining: duration,
 		rate:      1,
+		host:      -1,
 		onDone:    onDone,
 	}), nil
 }
@@ -496,27 +523,29 @@ func (e *Engine) Done(id ActivityID) (bool, float64) {
 	return false, 0
 }
 
-// constraintKey identifies one shared resource in the LMM system.
-type constraintKey struct {
-	link *platform.Link
-	dir  platform.Direction
-	host *platform.Host
-}
-
-// constraintFor returns the persistent flow constraint for a shared
-// resource, creating it on first use.
-func (e *Engine) constraintFor(k constraintKey, capacity float64) *flow.Constraint {
-	if c, ok := e.cnsts[k]; ok {
+// linkConstraint returns the persistent flow constraint for one link
+// direction, creating it on first use. ref is the dense address: Shared
+// links use the canonical None direction, FullDuplex links Up or Down.
+// Constraints are identified by index alone (lazy flow ids) — pooled
+// engines recreate every constraint per run, and formatting
+// "<link>:<dir>" names for each was measurable allocator churn.
+func (e *Engine) linkConstraint(ref platform.LinkRef, capacity float64) *flow.Constraint {
+	if c := e.linkCnst[ref]; c != nil {
 		return c
 	}
-	id := "cpu:"
-	if k.host == nil {
-		id = k.link.ID + ":" + k.dir.String()
-	} else {
-		id += k.host.ID
+	c := e.sys.NewConstraint("", capacity)
+	e.linkCnst[ref] = c
+	return c
+}
+
+// hostConstraint returns the persistent CPU constraint of one host,
+// creating it on first use.
+func (e *Engine) hostConstraint(hi int32) *flow.Constraint {
+	if c := e.hostCnst[hi]; c != nil {
+		return c
 	}
-	c := e.sys.NewConstraint(id, capacity)
-	e.cnsts[k] = c
+	c := e.sys.NewConstraint("", e.snap.HostSpeed(hi))
+	e.hostCnst[hi] = c
 	return c
 }
 
@@ -532,8 +561,9 @@ func (e *Engine) activate(a *activity) {
 		bound := a.bound
 		// Fatpipe links bound the flow without sharing.
 		for _, u := range a.links {
-			if u.Link.Policy == platform.Fatpipe {
-				cap := u.Link.Bandwidth * e.cfg.BandwidthFactor
+			li := u.LinkIndex()
+			if e.snap.LinkPolicy(li) == platform.Fatpipe {
+				cap := e.snap.LinkBandwidth(li) * e.cfg.BandwidthFactor
 				if bound == 0 || cap < bound {
 					bound = cap
 				}
@@ -544,10 +574,11 @@ func (e *Engine) activate(a *activity) {
 		a.fv = v
 		a.rate = 0
 		for _, u := range a.links {
-			switch u.Link.Policy {
+			li := u.LinkIndex()
+			switch e.snap.LinkPolicy(li) {
 			case platform.Shared:
-				c := e.constraintFor(constraintKey{link: u.Link, dir: platform.None},
-					u.Link.Bandwidth*e.cfg.BandwidthFactor)
+				c := e.linkConstraint(platform.MakeLinkRef(li, platform.None),
+					e.snap.LinkBandwidth(li)*e.cfg.BandwidthFactor)
 				if err := e.sys.Attach(v, c); err != nil {
 					// A route may legitimately traverse the same
 					// shared link twice only in pathological
@@ -555,12 +586,12 @@ func (e *Engine) activate(a *activity) {
 					continue
 				}
 			case platform.FullDuplex:
-				dir := u.Direction
+				dir := u.Direction()
 				if dir == platform.None {
 					dir = platform.Up
 				}
-				c := e.constraintFor(constraintKey{link: u.Link, dir: dir},
-					u.Link.Bandwidth*e.cfg.BandwidthFactor)
+				c := e.linkConstraint(platform.MakeLinkRef(li, dir),
+					e.snap.LinkBandwidth(li)*e.cfg.BandwidthFactor)
 				if err := e.sys.Attach(v, c); err != nil {
 					continue
 				}
@@ -573,8 +604,7 @@ func (e *Engine) activate(a *activity) {
 		v.SetData(a)
 		a.fv = v
 		a.rate = 0
-		c := e.constraintFor(constraintKey{host: a.host}, a.host.Speed)
-		e.sys.MustAttach(v, c)
+		e.sys.MustAttach(v, e.hostConstraint(a.host))
 	case timerActivity:
 		e.heapPush(a.slot, e.now+a.remaining)
 	}

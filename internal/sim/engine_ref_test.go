@@ -44,6 +44,15 @@ type refActivity struct {
 	onDone   func(now float64)
 }
 
+// refConstraintKey is the historical map key addressing shared resources
+// by pointer — the representation the production engine's dense
+// link/host-index arrays replaced.
+type refConstraintKey struct {
+	link *platform.Link
+	dir  platform.Direction
+	host *platform.Host
+}
+
 // refEngine is the scan-based kernel: same model, same arithmetic, O(n)
 // event search and O(n) event processing per step.
 type refEngine struct {
@@ -53,7 +62,7 @@ type refEngine struct {
 	acts  []*refActivity // id order
 	dirty bool
 	sys   *flow.System
-	cnsts map[constraintKey]*flow.Constraint
+	cnsts map[refConstraintKey]*flow.Constraint
 
 	events int
 }
@@ -63,7 +72,7 @@ func newRefEngine(plat *platform.Platform, cfg Config) *refEngine {
 		cfg:   cfg,
 		plat:  plat,
 		sys:   flow.NewSystem(),
-		cnsts: make(map[constraintKey]*flow.Constraint),
+		cnsts: make(map[refConstraintKey]*flow.Constraint),
 	}
 }
 
@@ -139,7 +148,7 @@ func (e *refEngine) addTimer(duration, start float64, onDone func(float64)) Acti
 	return a.id
 }
 
-func (e *refEngine) constraintFor(k constraintKey, capacity float64) *flow.Constraint {
+func (e *refEngine) constraintFor(k refConstraintKey, capacity float64) *flow.Constraint {
 	if c, ok := e.cnsts[k]; ok {
 		return c
 	}
@@ -176,7 +185,7 @@ func (e *refEngine) activate(a *refActivity) {
 		for _, u := range a.links {
 			switch u.Link.Policy {
 			case platform.Shared:
-				c := e.constraintFor(constraintKey{link: u.Link, dir: platform.None},
+				c := e.constraintFor(refConstraintKey{link: u.Link, dir: platform.None},
 					u.Link.Bandwidth*e.cfg.BandwidthFactor)
 				if err := e.sys.Attach(v, c); err != nil {
 					continue
@@ -186,7 +195,7 @@ func (e *refEngine) activate(a *refActivity) {
 				if dir == platform.None {
 					dir = platform.Up
 				}
-				c := e.constraintFor(constraintKey{link: u.Link, dir: dir},
+				c := e.constraintFor(refConstraintKey{link: u.Link, dir: dir},
 					u.Link.Bandwidth*e.cfg.BandwidthFactor)
 				if err := e.sys.Attach(v, c); err != nil {
 					continue
@@ -199,7 +208,7 @@ func (e *refEngine) activate(a *refActivity) {
 		a.fv = v
 		a.rate = 0
 		a.eventAt = math.Inf(1)
-		c := e.constraintFor(constraintKey{host: a.host}, a.host.Speed)
+		c := e.constraintFor(refConstraintKey{host: a.host}, a.host.Speed)
 		e.sys.MustAttach(v, c)
 	case timerActivity:
 		a.eventAt = e.now + a.remaining

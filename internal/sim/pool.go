@@ -12,14 +12,17 @@ import (
 // hundred events and throwing it away; at production request rates the
 // engine, its event heap, its flow system and all their internal slices
 // become pure allocator churn. The pool recycles complete engines per
-// (platform, configuration): Engine.Reset restarts ids and solver serials
+// (snapshot, configuration): Engine.Reset restarts ids and solver serials
 // from zero, so a recycled engine produces bit-identical results to a
 // fresh one — pooling is invisible except to the allocator.
 
-// poolKey identifies one engine flavour. Config is a comparable value
-// type, so the pair is usable as a map key directly.
+// poolKey identifies one engine flavour: one compiled platform epoch plus
+// one model configuration. Keying by snapshot (not platform) means a
+// link-state update naturally starts a fresh flavour — engines never mix
+// constraint capacities from different epochs — and stale epochs age out
+// through the flavour-eviction path below.
 type poolKey struct {
-	plat *platform.Platform
+	snap *platform.Snapshot
 	cfg  Config
 }
 
@@ -29,13 +32,13 @@ type enginePool struct {
 }
 
 // The pool is bounded in both dimensions so it can never pin memory
-// without limit: at most maxPoolKeys (platform, config) flavours are
-// retained — a flavour's map key holds the Platform alive, so dropping
-// stale flavours lets rebuilt platforms (e.g. a periodic reference
-// refresh) be collected — and each flavour parks at most maxFreePerPool
+// without limit: at most maxPoolKeys (snapshot, config) flavours are
+// retained — a flavour's map key holds the Snapshot alive, so dropping
+// stale flavours lets superseded epochs (e.g. a stream of measurement
+// updates) be collected — and each flavour parks at most maxFreePerPool
 // idle engines (a burst's concurrency high-water mark, not its total).
 // Evicted or surplus engines are simply garbage; Acquire falls back to
-// NewEngine.
+// NewEngineSnapshot.
 const maxPoolKeys = 64
 
 var maxFreePerPool = 4 * runtime.GOMAXPROCS(0)
@@ -45,12 +48,17 @@ var (
 	pools   = make(map[poolKey]*enginePool)
 )
 
-// AcquireEngine returns a ready-to-use engine for the given platform and
-// configuration, recycled from the process-wide pool when one is
+// AcquireEngine returns a ready-to-use engine for the given platform's
+// current base snapshot, recycled from the process-wide pool when one is
 // available. Pass it back with ReleaseEngine when the simulation's
 // results have been read.
 func AcquireEngine(plat *platform.Platform, cfg Config) *Engine {
-	key := poolKey{plat: plat, cfg: cfg}
+	return AcquireEngineSnapshot(plat.Snapshot(), cfg)
+}
+
+// AcquireEngineSnapshot is AcquireEngine for one compiled platform epoch.
+func AcquireEngineSnapshot(snap *platform.Snapshot, cfg Config) *Engine {
+	key := poolKey{snap: snap, cfg: cfg}
 	poolsMu.Lock()
 	p, ok := pools[key]
 	if !ok {
@@ -79,7 +87,7 @@ func AcquireEngine(plat *platform.Platform, cfg Config) *Engine {
 		return e
 	}
 	p.mu.Unlock()
-	e := NewEngine(plat, cfg)
+	e := NewEngineSnapshot(snap, cfg)
 	e.pooled = true
 	return e
 }
@@ -93,7 +101,7 @@ func ReleaseEngine(e *Engine) {
 		return
 	}
 	e.Reset()
-	key := poolKey{plat: e.plat, cfg: e.cfg}
+	key := poolKey{snap: e.snap, cfg: e.cfg}
 	poolsMu.Lock()
 	p := pools[key]
 	poolsMu.Unlock()

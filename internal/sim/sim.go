@@ -37,10 +37,17 @@ type Simulation struct {
 	ran       bool
 }
 
-// NewSimulation creates a simulation over the platform with the given
-// model configuration.
+// NewSimulation creates a simulation over the platform's current base
+// snapshot with the given model configuration.
 func NewSimulation(plat *platform.Platform, cfg Config) *Simulation {
 	return &Simulation{engine: NewEngine(plat, cfg)}
+}
+
+// NewSnapshotSimulation creates a simulation over one compiled platform
+// epoch — the entry point of the measure→update→forecast loop, where each
+// forecast must be answered against a specific link-state picture.
+func NewSnapshotSimulation(snap *platform.Snapshot, cfg Config) *Simulation {
+	return &Simulation{engine: NewEngineSnapshot(snap, cfg)}
 }
 
 // NewPooledSimulation is NewSimulation over a recycled engine from the
@@ -48,6 +55,12 @@ func NewSimulation(plat *platform.Platform, cfg Config) *Simulation {
 // caller must call Release once the results have been read.
 func NewPooledSimulation(plat *platform.Platform, cfg Config) *Simulation {
 	return &Simulation{engine: AcquireEngine(plat, cfg)}
+}
+
+// NewPooledSnapshotSimulation is NewSnapshotSimulation over a recycled
+// engine from the process-wide pool.
+func NewPooledSnapshotSimulation(snap *platform.Snapshot, cfg Config) *Simulation {
+	return &Simulation{engine: AcquireEngineSnapshot(snap, cfg)}
 }
 
 // Release returns a pooled simulation's engine to the pool. The

@@ -36,14 +36,16 @@ type network struct {
 	// per-node info
 	nodes map[string]*nodeInfo // key: FQDN
 
-	// paths memoizes resolved node-pair paths; campaigns re-run the same
-	// pairs across repetitions and sizes. Cached slices are shared and
-	// must not be mutated by callers.
-	paths map[[2]string][]hop
+	// paths memoizes resolved node-pair paths, keyed by the packed dense
+	// node indices (one int64 hash per lookup instead of a two-string
+	// composite); campaigns re-run the same pairs across repetitions and
+	// sizes. Cached slices are shared and must not be mutated by callers.
+	paths map[uint64][]hop
 }
 
 type nodeInfo struct {
 	fqdn    string
+	idx     int32 // dense node index, assigned in reference order
 	site    string
 	cluster string
 	class   NodeClass
@@ -89,6 +91,7 @@ func newNetwork(ref *g5k.Reference, cfg Config) (*network, error) {
 				fqdn := g5k.FQDN(nid, siteID)
 				info := &nodeInfo{
 					fqdn:    fqdn,
+					idx:     int32(len(n.nodes)),
 					site:    siteID,
 					cluster: cid,
 					class:   class,
@@ -140,21 +143,6 @@ func (n *network) getResource(id string, capacity float64) *resource {
 // nodes. The real path mirrors the structural route of the platform model
 // but with full-duplex resources and hardware latencies.
 func (n *network) path(src, dst string) ([]hop, error) {
-	if hops, ok := n.paths[[2]string{src, dst}]; ok {
-		return hops, nil
-	}
-	hops, err := n.resolvePath(src, dst)
-	if err != nil {
-		return nil, err
-	}
-	if n.paths == nil {
-		n.paths = make(map[[2]string][]hop)
-	}
-	n.paths[[2]string{src, dst}] = hops
-	return hops, nil
-}
-
-func (n *network) resolvePath(src, dst string) ([]hop, error) {
 	a, ok := n.nodes[src]
 	if !ok {
 		return nil, fmt.Errorf("testbed: unknown node %q", src)
@@ -163,8 +151,24 @@ func (n *network) resolvePath(src, dst string) ([]hop, error) {
 	if !ok {
 		return nil, fmt.Errorf("testbed: unknown node %q", dst)
 	}
-	if src == dst {
-		return nil, fmt.Errorf("testbed: transfer from %q to itself", src)
+	key := uint64(uint32(a.idx))<<32 | uint64(uint32(b.idx))
+	if hops, ok := n.paths[key]; ok {
+		return hops, nil
+	}
+	hops, err := n.resolvePath(a, b)
+	if err != nil {
+		return nil, err
+	}
+	if n.paths == nil {
+		n.paths = make(map[uint64][]hop)
+	}
+	n.paths[key] = hops
+	return hops, nil
+}
+
+func (n *network) resolvePath(a, b *nodeInfo) ([]hop, error) {
+	if a == b {
+		return nil, fmt.Errorf("testbed: transfer from %q to itself", a.fqdn)
 	}
 
 	var hops []hop
