@@ -341,6 +341,77 @@ func BenchmarkWithLinkState(b *testing.B) {
 	}
 }
 
+// BenchmarkTimelineAppend measures folding one timestamped single-link
+// observation into a platform timeline — the per-sample cost of the
+// metrology ingest loop. It stays amortized O(changed links): a
+// copy-on-write epoch derivation plus O(1) ring bookkeeping (evictions
+// after the ring fills included).
+func BenchmarkTimelineAppend(b *testing.B) {
+	setup(b)
+	snap := entry.Platform.Snapshot()
+	tl := platform.NewTimeline(snap, 0)
+	upd := []platform.LinkUpdate{{Link: entry.Platform.Links()[0].ID, Bandwidth: 1e8, Latency: 2e-4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		upd[0].Bandwidth = 1e8 + float64(i)
+		if _, err := tl.Append(int64(i), "bench", upd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictAtHorizon measures the full future-horizon prediction
+// path: resolve at=T past the newest observation (NWS forecast epoch,
+// memoized per observation generation) and simulate the standard
+// 30-transfer request against it. The delta against
+// BenchmarkPredict30Transfers is the whole cost of forecasting at a
+// horizon instead of now.
+func BenchmarkPredictAtHorizon(b *testing.B) {
+	setup(b)
+	reg := pilgrim.NewRegistry()
+	if err := reg.Add("g5k_test", entry); err != nil {
+		b.Fatal(err)
+	}
+	// A warm observation history over a few access links.
+	links := entry.Platform.Links()
+	for i := 0; i < 32; i++ {
+		var ups []platform.LinkUpdate
+		for l := 0; l < 4; l++ {
+			ups = append(ups, platform.LinkUpdate{
+				Link: links[l].ID, Bandwidth: 9e7 + float64((i*31+l*7)%13)*1e6, Latency: -1,
+			})
+		}
+		if _, err := reg.ObserveLinkState("g5k_test", int64(1000+i), "bench", ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := stats.NewRNG(42)
+	hosts := entry.Platform.Hosts()
+	var reqs []pilgrim.TransferRequest
+	idx := rng.Sample(len(hosts), 60)
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, pilgrim.TransferRequest{
+			Src: hosts[idx[k]].ID, Dst: hosts[idx[30+k]].ID, Size: 5e8,
+		})
+	}
+	at := int64(1000 + 31 + 600) // ten minutes past the newest observation
+	if _, err := reg.GetAt("g5k_test", at); err != nil {
+		b.Fatal(err) // materialize the forecast epoch and warm routes
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := reg.GetAt("g5k_test", at)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pilgrim.PredictTransfers(e, reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPlatformG5KTest / Cabinets measure generating the two platform
 // flavours of §V-A (the paper: g5k_test is "less optimized ... in size
 // and loading time").

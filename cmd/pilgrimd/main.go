@@ -6,16 +6,20 @@
 //	pilgrimd [-addr :8080] [-g5k-api URL] [-rrd-tree DIR]
 //	         [-gamma-latfactor] [-equipment-limits] [-measured-latencies]
 //	         [-forecast-cache N] [-forecast-workers N]
+//	         [-timeline-depth N] [-forecast-horizon-max D]
 //
 // Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
 // reference description — fetched from a reference API server when
 // -g5k-api is given, otherwise the embedded dataset — compiled into
 // immutable snapshots and registered under their paper names. Live
 // measurements can be folded into a platform at runtime through
-// POST /pilgrim/update_links/{platform} (see docs/API.md); each update
-// publishes a new copy-on-write epoch that subsequent forecasts answer
-// against. An RRD file tree (as written by the metrology collector) can
-// be served with -rrd-tree.
+// POST /pilgrim/update_links/{platform} (see docs/API.md); each
+// timestamped observation appends a new copy-on-write epoch to the
+// platform's timeline (bounded by -timeline-depth) and feeds its NWS
+// forecaster bank, so predict_transfers/select_fastest can answer at any
+// past time — and extrapolate up to -forecast-horizon-max into the
+// future. An RRD file tree (as written by the metrology collector) can be
+// served with -rrd-tree.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"pilgrim/internal/g5k"
 	"pilgrim/internal/metrology"
@@ -41,15 +46,28 @@ func main() {
 	measuredLat := flag.Bool("measured-latencies", false, "use measured backbone latencies instead of the hardcoded 2.25e-3 s (future-work extension)")
 	cacheSize := flag.Int("forecast-cache", pilgrim.DefaultForecastCacheSize, "forecast cache capacity in distinct queries (0 disables caching)")
 	workers := flag.Int("forecast-workers", pilgrim.DefaultForecastWorkers, "concurrent hypothesis simulations for select_fastest (1 = sequential)")
+	tlDepth := flag.Int("timeline-depth", pilgrim.DefaultTimelineDepth, "link-state observations retained per platform timeline")
+	horizon := flag.Duration("forecast-horizon-max", pilgrim.DefaultForecastHorizon, "how far past the newest observation at= queries may extrapolate (beyond: HTTP 400)")
 	flag.Parse()
 
-	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat, *cacheSize, *workers); err != nil {
+	if *tlDepth < 1 {
+		fmt.Fprintln(os.Stderr, "pilgrimd: -timeline-depth must be >= 1")
+		os.Exit(2)
+	}
+	if *horizon < time.Second {
+		fmt.Fprintln(os.Stderr, "pilgrimd: -forecast-horizon-max must be >= 1s")
+		os.Exit(2)
+	}
+
+	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat,
+		*cacheSize, *workers, *tlDepth, *horizon); err != nil {
 		fmt.Fprintln(os.Stderr, "pilgrimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, cacheSize, workers int) error {
+func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool,
+	cacheSize, workers, tlDepth int, horizon time.Duration) error {
 	ref := g5k.Default()
 	if g5kAPI != "" {
 		fetched, err := g5k.Fetch(nil, g5kAPI)
@@ -63,6 +81,8 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, 
 	cfg.GammaUsesLatencyFactor = gammaLat
 
 	registry := pilgrim.NewRegistry()
+	registry.SetTimelineDepth(tlDepth)
+	registry.SetForecastHorizon(horizon)
 	for _, variant := range []platgen.Variant{platgen.G5KTest, platgen.G5KCabinets} {
 		plat, err := platgen.Generate(ref, platgen.Options{
 			Variant:              variant,
@@ -96,7 +116,7 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool, 
 	if workers != pilgrim.DefaultForecastWorkers {
 		server.SetForecastWorkers(workers)
 	}
-	log.Printf("pilgrimd listening on %s (forecast cache: %d entries, %d forecast workers)",
-		addr, cacheSize, workers)
+	log.Printf("pilgrimd listening on %s (forecast cache: %d entries, %d forecast workers, timeline depth %d, horizon cap %s)",
+		addr, cacheSize, workers, tlDepth, horizon)
 	return http.ListenAndServe(addr, server)
 }

@@ -1,0 +1,179 @@
+package metrology
+
+// This file implements the ingestion layer closing the loop between the
+// Ganglia-style RRD store and the platform's link-state timeline: metric
+// series are declared as *link bindings* (this RRD feeds that link's
+// bandwidth or latency), and an Ingestor periodically drains newly
+// collected samples — on each metric's primary (finest) step — into
+// timestamped observation batches ordered by time. The sink is typically
+// pilgrim's Registry.ObserveLinkState, which appends each batch to the
+// platform timeline and feeds the NWS forecaster bank, making the
+// metrology store the system of record for link state.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pilgrim/internal/platform"
+	"pilgrim/internal/rrd"
+)
+
+// LinkQuantity selects which link-state quantity a metric feeds.
+type LinkQuantity int
+
+const (
+	// LinkBandwidth interprets samples as available bandwidth.
+	LinkBandwidth LinkQuantity = iota
+	// LinkLatency interprets samples as one-way latency.
+	LinkLatency
+)
+
+// String returns the quantity name.
+func (q LinkQuantity) String() string {
+	if q == LinkLatency {
+		return "latency"
+	}
+	return "bandwidth"
+}
+
+// LinkBinding declares that one RRD metric measures one platform link.
+// Scale converts a raw sample into the platform unit (bytes/s for
+// bandwidth, seconds for latency); 0 means 1. A smokeping-style RTT in
+// milliseconds feeding one-way latency would use Scale = 0.5e-3.
+type LinkBinding struct {
+	Metric   MetricPath
+	Link     string
+	Quantity LinkQuantity
+	Scale    float64
+}
+
+// ObservationSink receives one timestamped observation batch per distinct
+// sample time, in non-decreasing time order. Returning an error aborts
+// the ingest (the cursor does not advance past the failed batch).
+type ObservationSink func(t int64, source string, updates []platform.LinkUpdate) error
+
+// Ingestor folds newly collected samples of bound metrics into
+// observation batches. It keeps a cursor so successive Ingest calls never
+// replay a sample; bind all metrics before the first Ingest. Safe for
+// concurrent use.
+type Ingestor struct {
+	reg      *Registry
+	source   string
+	mu       sync.Mutex
+	bindings []LinkBinding
+	cursor   int64
+}
+
+// NewIngestor returns an ingestor draining the given metric registry,
+// stamping batches with the given provenance source (e.g. "metrology").
+func NewIngestor(reg *Registry, source string) *Ingestor {
+	if source == "" {
+		source = "metrology"
+	}
+	return &Ingestor{reg: reg, source: source}
+}
+
+// Bind adds a metric→link binding. The metric may be registered in the
+// metric registry after Bind but must exist by the first Ingest covering
+// its samples.
+func (ing *Ingestor) Bind(b LinkBinding) error {
+	if b.Link == "" {
+		return fmt.Errorf("metrology: binding for %s has no link", b.Metric)
+	}
+	if b.Scale < 0 || math.IsNaN(b.Scale) || math.IsInf(b.Scale, 0) {
+		return fmt.Errorf("metrology: binding for %s has invalid scale %v", b.Metric, b.Scale)
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	for _, have := range ing.bindings {
+		if have.Metric == b.Metric && have.Quantity == b.Quantity {
+			return fmt.Errorf("metrology: %s already bound to %s %s", b.Metric, have.Link, have.Quantity)
+		}
+	}
+	ing.bindings = append(ing.bindings, b)
+	return nil
+}
+
+// Cursor returns the simulated time up to which samples were folded.
+func (ing *Ingestor) Cursor() int64 {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.cursor
+}
+
+// Ingest drains samples in (Cursor(), to] from every bound metric on its
+// primary step, groups them by sample time across bindings, and feeds the
+// sink one batch per distinct time, oldest first. Unknown (NaN) samples
+// are skipped. On success the cursor advances to to; on a sink error the
+// cursor stops at the last successfully delivered batch. Returns the
+// number of batches delivered.
+func (ing *Ingestor) Ingest(to int64, sink ObservationSink) (int, error) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if to <= ing.cursor {
+		return 0, nil
+	}
+
+	type sample struct {
+		binding int
+		value   float64
+	}
+	byTime := make(map[int64][]sample)
+	for bi, b := range ing.bindings {
+		db, ok := ing.reg.Database(b.Metric)
+		if !ok {
+			return 0, fmt.Errorf("metrology: bound metric %s not in registry", b.Metric)
+		}
+		// The finest archive's resolution is the metric's primary step.
+		series, err := db.FetchBest(rrd.Average, ing.cursor+1, to+1)
+		if err != nil {
+			return 0, fmt.Errorf("metrology: fetching %s: %w", b.Metric, err)
+		}
+		for i, row := range series.Rows {
+			ts := series.Start + int64(i)*series.Step
+			if ts <= ing.cursor || ts > to || len(row) == 0 || math.IsNaN(row[0]) {
+				continue
+			}
+			byTime[ts] = append(byTime[ts], sample{binding: bi, value: row[0]})
+		}
+	}
+
+	times := make([]int64, 0, len(byTime))
+	for ts := range byTime {
+		times = append(times, ts)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	batches := 0
+	for _, ts := range times {
+		samples := byTime[ts]
+		// Per-binding order within a batch is fixed by binding order, so a
+		// given store content always produces the same epochs.
+		sort.Slice(samples, func(i, j int) bool { return samples[i].binding < samples[j].binding })
+		updates := make([]platform.LinkUpdate, 0, len(samples))
+		for _, s := range samples {
+			b := ing.bindings[s.binding]
+			scale := b.Scale
+			if scale == 0 {
+				scale = 1
+			}
+			u := platform.LinkUpdate{Link: b.Link, Bandwidth: -1, Latency: -1}
+			switch b.Quantity {
+			case LinkLatency:
+				u.Latency = s.value * scale
+			default:
+				u.Bandwidth = s.value * scale
+			}
+			updates = append(updates, u)
+		}
+		if err := sink(ts, ing.source, updates); err != nil {
+			return batches, fmt.Errorf("metrology: folding batch at %d: %w", ts, err)
+		}
+		ing.cursor = ts
+		batches++
+	}
+	ing.cursor = to
+	return batches, nil
+}

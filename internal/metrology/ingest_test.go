@@ -1,0 +1,152 @@
+package metrology
+
+import (
+	"fmt"
+	"testing"
+
+	"pilgrim/internal/platform"
+	"pilgrim/internal/rrd"
+)
+
+type recordedBatch struct {
+	t       int64
+	source  string
+	updates []platform.LinkUpdate
+}
+
+// TestIngestorFoldsSamples checks the store→timeline direction: bound
+// metrics are drained on their primary step, batches arrive oldest first
+// with per-quantity scaling applied, and the cursor prevents replay.
+func TestIngestorFoldsSamples(t *testing.T) {
+	reg := NewRegistry()
+	bwPath := MetricPath{Tool: "iperf", Site: "lyon", Host: "sagittaire-1.lyon.grid5000.fr", Metric: "bw"}
+	latPath := MetricPath{Tool: "smokeping", Site: "lyon", Host: "sagittaire-1.lyon.grid5000.fr", Metric: "rtt"}
+	// Bandwidth probe reports Mbit/s; latency probe reports RTT ms.
+	if err := reg.Register(bwPath, rrd.Gauge, 15, func(ts int64) float64 { return 800 + float64(ts%60) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(latPath, rrd.Gauge, 15, func(ts int64) float64 { return 2.0 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Collect(0, 600); err != nil {
+		t.Fatal(err)
+	}
+
+	ing := NewIngestor(reg, "metrology")
+	if err := ing.Bind(LinkBinding{Metric: bwPath, Link: "sagittaire-1.lyon.grid5000.fr_nic", Quantity: LinkBandwidth, Scale: 1e6 / 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Bind(LinkBinding{Metric: latPath, Link: "lyon_router", Quantity: LinkLatency, Scale: 0.5e-3}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate (metric, quantity) bindings are rejected.
+	if err := ing.Bind(LinkBinding{Metric: bwPath, Link: "other", Quantity: LinkBandwidth}); err == nil {
+		t.Fatal("duplicate binding accepted")
+	}
+
+	var got []recordedBatch
+	sink := func(ts int64, source string, updates []platform.LinkUpdate) error {
+		got = append(got, recordedBatch{t: ts, source: source, updates: append([]platform.LinkUpdate(nil), updates...)})
+		return nil
+	}
+	n, err := ing.Ingest(600, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n != len(got) {
+		t.Fatalf("ingested %d batches, recorded %d", n, len(got))
+	}
+	if c := ing.Cursor(); c != 600 {
+		t.Fatalf("cursor = %d, want 600", c)
+	}
+	for i, b := range got {
+		if i > 0 && b.t <= got[i-1].t {
+			t.Fatalf("batches out of order: %d after %d", b.t, got[i-1].t)
+		}
+		if b.source != "metrology" {
+			t.Fatalf("source = %q", b.source)
+		}
+		if len(b.updates) != 2 {
+			t.Fatalf("batch at %d has %d updates, want 2 (both metrics sample together)", b.t, len(b.updates))
+		}
+		// Binding order is preserved within a batch.
+		bw, lat := b.updates[0], b.updates[1]
+		if bw.Link != "sagittaire-1.lyon.grid5000.fr_nic" || bw.Latency != -1 || bw.Bandwidth <= 0 {
+			t.Fatalf("bandwidth update = %+v", bw)
+		}
+		// Row timestamps are interval starts: the sample taken at T lands
+		// in the row covering [T-step, T).
+		if want := (800 + float64((b.t+15)%60)) * 1e6 / 8; bw.Bandwidth != want {
+			t.Fatalf("batch at %d: bandwidth %v, want %v", b.t, bw.Bandwidth, want)
+		}
+		if lat.Link != "lyon_router" || lat.Bandwidth != -1 || lat.Latency != 2.0*0.5e-3 {
+			t.Fatalf("latency update = %+v", lat)
+		}
+	}
+
+	// Nothing to replay: the cursor advanced.
+	if n, err := ing.Ingest(600, sink); err != nil || n != 0 {
+		t.Fatalf("re-ingest: %d batches, err %v", n, err)
+	}
+	// New collection rounds only deliver the new samples.
+	if err := reg.Collect(600, 900); err != nil {
+		t.Fatal(err)
+	}
+	before := len(got)
+	if _, err := ing.Ingest(900, sink); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got[before:] {
+		if b.t <= 600 {
+			t.Fatalf("replayed batch at %d", b.t)
+		}
+	}
+}
+
+// TestIngestorErrors checks unbound metrics and failing sinks.
+func TestIngestorErrors(t *testing.T) {
+	reg := NewRegistry()
+	ing := NewIngestor(reg, "")
+	ghost := MetricPath{Tool: "t", Site: "s", Host: "h", Metric: "m"}
+	if err := ing.Bind(LinkBinding{Metric: ghost, Link: ""}); err == nil {
+		t.Fatal("empty link accepted")
+	}
+	if err := ing.Bind(LinkBinding{Metric: ghost, Link: "l"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing.Ingest(100, func(int64, string, []platform.LinkUpdate) error { return nil }); err == nil {
+		t.Fatal("ingest with unregistered metric must fail")
+	}
+
+	if err := reg.Register(ghost, rrd.Gauge, 15, ConstantSource(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Collect(0, 300); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	_, err := ing.Ingest(300, func(int64, string, []platform.LinkUpdate) error {
+		calls++
+		if calls == 2 {
+			return fmt.Errorf("sink down")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("sink error must propagate")
+	}
+	// The cursor stopped at the delivered batch: retry resumes after it.
+	resumed := 0
+	if _, err := ing.Ingest(300, func(int64, string, []platform.LinkUpdate) error {
+		resumed++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if resumed == 0 {
+		t.Fatal("retry after sink failure delivered nothing")
+	}
+	if ing.Cursor() != 300 {
+		t.Fatalf("cursor = %d, want 300", ing.Cursor())
+	}
+}

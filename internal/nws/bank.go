@@ -1,0 +1,102 @@
+package nws
+
+import "errors"
+
+// Bank is a per-link forecaster bank vectorized over dense link indices:
+// one bandwidth Selector and one latency Selector per observed link, with
+// NWS dynamic predictor selection running independently on every series.
+// It is the bridge between the metrology timeline (which records what the
+// network did) and horizon forecasting (which extrapolates what it will
+// do): each observation batch folded into a platform.Timeline also feeds
+// the bank, and a future-horizon query drains the bank's forecasts into a
+// synthetic link-state epoch.
+//
+// The per-link arrays are pre-sized at construction and the predictor
+// batteries are allocated once, on a link's first observation — after
+// warm-up, an Observe/Forecast cycle over the whole bank allocates
+// nothing (BenchmarkBankForecast pins this), so horizon extrapolation
+// over a 1k-link platform is O(1) allocations per forecast.
+//
+// A Bank is not safe for concurrent use; callers (the pilgrim registry)
+// serialize observations and forecasts per platform.
+type Bank struct {
+	bw  []*Selector
+	lat []*Selector
+	// observed lists link indices with at least one observation, in first
+	// observation order; it is the iteration domain for forecast drains.
+	observed []int32
+	seen     []bool
+}
+
+// NewBank returns a bank for a platform of n dense link indices.
+func NewBank(n int) *Bank {
+	if n < 0 {
+		panic(errors.New("nws: negative link count"))
+	}
+	return &Bank{
+		bw:   make([]*Selector, n),
+		lat:  make([]*Selector, n),
+		seen: make([]bool, n),
+	}
+}
+
+// NumLinks returns the dense index space size.
+func (b *Bank) NumLinks() int { return len(b.seen) }
+
+// note marks a link observed, registering it in the iteration domain.
+func (b *Bank) note(link int32) {
+	if !b.seen[link] {
+		b.seen[link] = true
+		b.observed = append(b.observed, link)
+	}
+}
+
+// ObserveBandwidth feeds one measured bandwidth (bytes/s) for a link.
+func (b *Bank) ObserveBandwidth(link int32, v float64) {
+	b.note(link)
+	if b.bw[link] == nil {
+		b.bw[link] = NewSelector()
+	}
+	b.bw[link].Update(v)
+}
+
+// ObserveLatency feeds one measured one-way latency (seconds) for a link.
+func (b *Bank) ObserveLatency(link int32, v float64) {
+	b.note(link)
+	if b.lat[link] == nil {
+		b.lat[link] = NewSelector()
+	}
+	b.lat[link].Update(v)
+}
+
+// Observed returns the links with at least one observation, in first
+// observation order. The slice is owned by the bank; do not mutate.
+func (b *Bank) Observed() []int32 { return b.observed }
+
+// ForecastBandwidth extrapolates the link's bandwidth with the currently
+// best predictor; ok is false without bandwidth history.
+func (b *Bank) ForecastBandwidth(link int32) (float64, bool) {
+	if s := b.bw[link]; s != nil {
+		return s.Predict()
+	}
+	return 0, false
+}
+
+// ForecastLatency extrapolates the link's latency with the currently best
+// predictor; ok is false without latency history.
+func (b *Bank) ForecastLatency(link int32) (float64, bool) {
+	if s := b.lat[link]; s != nil {
+		return s.Predict()
+	}
+	return 0, false
+}
+
+// BestBandwidthPredictor reports the name of the predictor currently
+// winning the link's bandwidth series ("" without history) — the NWS
+// dynamic-selection telemetry.
+func (b *Bank) BestBandwidthPredictor(link int32) string {
+	if s := b.bw[link]; s != nil {
+		return s.Best()
+	}
+	return ""
+}

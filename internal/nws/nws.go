@@ -89,22 +89,26 @@ func (w *window) push(v float64) {
 	}
 }
 
-func (w *window) values() []float64 {
+// valuesInto copies the window contents into dst (which must have
+// capacity for the full window) and returns the filled prefix. The copy
+// order matches the historical values() layout — raw buffer order — so
+// downstream arithmetic is bit-identical, while the pre-sized dst keeps
+// Predict allocation-free (forecasts run once per link per horizon query;
+// a garbage-free battery is what lets the bank extrapolate a 1k-link
+// platform in O(1) allocations).
+func (w *window) valuesInto(dst []float64) []float64 {
 	if w.full {
-		out := make([]float64, len(w.buf))
-		copy(out, w.buf)
-		return out
+		return dst[:copy(dst[:len(w.buf)], w.buf)]
 	}
-	out := make([]float64, w.head)
-	copy(out, w.buf[:w.head])
-	return out
+	return dst[:copy(dst[:w.head], w.buf[:w.head])]
 }
 
 // slidingMean predicts the mean of the last k observations (NWS
 // "SW_AVG").
 type slidingMean struct {
-	w *window
-	k int
+	w       *window
+	k       int
+	scratch []float64
 }
 
 // NewSlidingMean returns the k-sample sliding-window mean predictor.
@@ -112,7 +116,7 @@ func NewSlidingMean(k int) Forecaster {
 	if k < 1 {
 		panic(errors.New("nws: window must be >= 1"))
 	}
-	return &slidingMean{w: newWindow(k), k: k}
+	return &slidingMean{w: newWindow(k), k: k, scratch: make([]float64, k)}
 }
 
 func (s *slidingMean) Name() string { return fmt.Sprintf("SW_AVG(%d)", s.k) }
@@ -120,7 +124,7 @@ func (s *slidingMean) Update(v float64) {
 	s.w.push(v)
 }
 func (s *slidingMean) Predict() (float64, bool) {
-	vs := s.w.values()
+	vs := s.w.valuesInto(s.scratch)
 	if len(vs) == 0 {
 		return 0, false
 	}
@@ -134,8 +138,9 @@ func (s *slidingMean) Predict() (float64, bool) {
 // slidingMedian predicts the median of the last k observations (NWS
 // "MEDIAN").
 type slidingMedian struct {
-	w *window
-	k int
+	w       *window
+	k       int
+	scratch []float64
 }
 
 // NewSlidingMedian returns the k-sample sliding-window median predictor.
@@ -143,7 +148,7 @@ func NewSlidingMedian(k int) Forecaster {
 	if k < 1 {
 		panic(errors.New("nws: window must be >= 1"))
 	}
-	return &slidingMedian{w: newWindow(k), k: k}
+	return &slidingMedian{w: newWindow(k), k: k, scratch: make([]float64, k)}
 }
 
 func (s *slidingMedian) Name() string { return fmt.Sprintf("MEDIAN(%d)", s.k) }
@@ -151,7 +156,7 @@ func (s *slidingMedian) Update(v float64) {
 	s.w.push(v)
 }
 func (s *slidingMedian) Predict() (float64, bool) {
-	vs := s.w.values()
+	vs := s.w.valuesInto(s.scratch)
 	if len(vs) == 0 {
 		return 0, false
 	}

@@ -64,9 +64,26 @@ func (c *Client) Platforms() ([]string, error) {
 }
 
 // PredictTransfers asks PNFS for the completion times of the given
-// concurrent transfers on the named platform.
+// concurrent transfers on the named platform, against the newest
+// link-state epoch.
 func (c *Client) PredictTransfers(platform string, transfers []TransferRequest) ([]Prediction, error) {
+	return c.predictTransfers(platform, nil, transfers)
+}
+
+// PredictTransfersAt is PredictTransfers against the link state at time
+// at (Unix seconds): past times answer from the server's epoch timeline,
+// future times within the server's horizon cap answer from the
+// NWS-extrapolated forecast epoch.
+func (c *Client) PredictTransfersAt(platform string, at int64, transfers []TransferRequest) ([]Prediction, error) {
 	q := url.Values{}
+	q.Set("at", strconv.FormatInt(at, 10))
+	return c.predictTransfers(platform, q, transfers)
+}
+
+func (c *Client) predictTransfers(platform string, q url.Values, transfers []TransferRequest) ([]Prediction, error) {
+	if q == nil {
+		q = url.Values{}
+	}
 	for _, t := range transfers {
 		q.Add("transfer", fmt.Sprintf("%s,%s,%s", t.Src, t.Dst,
 			strconv.FormatFloat(t.Size, 'g', -1, 64)))
@@ -81,7 +98,22 @@ func (c *Client) PredictTransfers(platform string, transfers []TransferRequest) 
 // SelectFastest asks the server to simulate each hypothesis and pick the
 // one with the smallest makespan.
 func (c *Client) SelectFastest(platform string, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	return c.selectFastest(platform, nil, hyps)
+}
+
+// SelectFastestAt is SelectFastest against the link state at time at
+// (Unix seconds), with the same past/future semantics as
+// PredictTransfersAt.
+func (c *Client) SelectFastestAt(platform string, at int64, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
 	q := url.Values{}
+	q.Set("at", strconv.FormatInt(at, 10))
+	return c.selectFastest(platform, q, hyps)
+}
+
+func (c *Client) selectFastest(platform string, q url.Values, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	if q == nil {
+		q = url.Values{}
+	}
 	for _, h := range hyps {
 		parts := make([]string, len(h.Transfers))
 		for i, t := range h.Transfers {
@@ -98,6 +130,43 @@ func (c *Client) SelectFastest(platform string, hyps []Hypothesis) (best int, re
 		return 0, nil, err
 	}
 	return out.Best, out.Results, nil
+}
+
+// UpdateLinks POSTs one timestamped, attributed observation batch — the
+// measure side of the measure→update→forecast loop. A zero req.Time lets
+// the server stamp the arrival time.
+func (c *Client) UpdateLinks(platform string, req UpdateLinksRequest) (UpdateLinksResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: encoding link updates: %w", err)
+	}
+	u := c.BaseURL + "/pilgrim/update_links/" + url.PathEscape(platform)
+	resp, err := c.httpClient().Post(u, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: POST update_links: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: POST update_links: HTTP %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var out UpdateLinksResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: decoding update_links answer: %w", err)
+	}
+	return out, nil
+}
+
+// TimelineStats fetches the named platform's observation-history
+// accounting: retained epochs with timestamps and provenance, history
+// bound, and the server's forecast horizon cap.
+func (c *Client) TimelineStats(platform string) (TimelineStatsResponse, error) {
+	var out TimelineStatsResponse
+	if err := c.getJSON("/pilgrim/timeline_stats/"+url.PathEscape(platform), nil, &out); err != nil {
+		return TimelineStatsResponse{}, err
+	}
+	return out, nil
 }
 
 // PredictWorkflow posts a workflow DAG for simulation and returns the

@@ -27,18 +27,30 @@
 //     epoch, so subsequent forecasts answer against the live network
 //     picture — the paper's dynamic measure→update→forecast loop.
 //
+// Observations are timestamped and attributed: every update appends to a
+// bounded per-platform platform.Timeline instead of clobbering a single
+// live picture, and feeds a per-link nws.Bank of dynamically selected
+// predictors. predict_transfers and select_fastest accept at=T to answer
+// against the epoch in effect at any past T (timeline lookup) or an
+// NWS-extrapolated forecast epoch for future T within the horizon cap;
+// GET /pilgrim/timeline_stats/{platform} exposes the retained history.
+//
 // PNFS answers are memoized by a bounded LRU ForecastCache keyed by the
-// canonicalized (platform, transfers, background) triple, so a resource
-// management system polling the same decision repeatedly pays for one
-// simulation; GET /pilgrim/cache_stats exposes the hit/miss counters.
+// canonicalized (platform epoch, transfers, background) triple, so a
+// resource management system polling the same decision repeatedly pays
+// for one simulation; GET /pilgrim/cache_stats exposes the hit/miss
+// counters.
 package pilgrim
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
+	"pilgrim/internal/nws"
 	"pilgrim/internal/platform"
 	"pilgrim/internal/sim"
 )
@@ -71,81 +83,268 @@ func (e PlatformEntry) WithSnapshot() PlatformEntry {
 	return e
 }
 
-// regEntry is one registered platform: the immutable registration plus
-// the live compiled epoch. snap is an atomic pointer so the forecast path
-// loads the current epoch without any lock, and a measurement batch
-// publishes a new epoch with one store.
+// DefaultTimelineDepth is the per-platform history bound a fresh Registry
+// applies (the pilgrimd -timeline-depth flag).
+const DefaultTimelineDepth = platform.DefaultTimelineDepth
+
+// DefaultForecastHorizon is how far past the newest observation the
+// registry will extrapolate by default (the pilgrimd
+// -forecast-horizon-max flag). Queries further out are refused with
+// ErrBeyondHorizon rather than answered with a forecast no history
+// supports.
+const DefaultForecastHorizon = time.Hour
+
+// ErrBeyondHorizon is returned by GetAt for a future time further past
+// the newest observation than the configured horizon cap.
+var ErrBeyondHorizon = errors.New("pilgrim: requested time beyond the forecast horizon")
+
+// regEntry is one registered platform: the immutable registration, the
+// timestamped epoch timeline, and the per-link NWS forecaster bank. The
+// forecast hot path reads the live epoch through Timeline.Latest — one
+// atomic load, no lock. fmu serializes observations (timeline append +
+// bank update) and forecast-epoch materialization.
 type regEntry struct {
 	plat *platform.Platform
 	cfg  sim.Config
-	snap atomic.Pointer[platform.Snapshot]
+	tl   *platform.Timeline
+
+	fmu     sync.Mutex
+	bank    *nws.Bank
+	scratch []platform.LinkUpdateIdx
+	// fsnap memoizes the synthetic forecast epoch derived from the latest
+	// observation state (fbase). NWS predictors extrapolate the next value
+	// — the forecast is the same for every in-horizon future T — so one
+	// epoch per observation generation serves all future queries, and the
+	// forecast cache (keyed by epoch id) memoizes their answers.
+	fsnap *platform.Snapshot
+	fbase uint64
 }
 
 // Registry holds the named platforms a Pilgrim instance can predict on
-// (the paper's g5k_test and g5k_cabinets), each with its current
-// link-state epoch.
+// (the paper's g5k_test and g5k_cabinets), each with its link-state
+// epoch timeline and forecaster bank.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*regEntry
+	depth   int
+	horizon time.Duration
 }
 
-// NewRegistry returns an empty platform registry.
+// NewRegistry returns an empty platform registry with
+// DefaultTimelineDepth and DefaultForecastHorizon.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*regEntry)}
+	return &Registry{
+		entries: make(map[string]*regEntry),
+		depth:   DefaultTimelineDepth,
+		horizon: DefaultForecastHorizon,
+	}
+}
+
+// SetTimelineDepth bounds the per-platform observation history (n <= 0
+// restores the default). It applies to platforms added afterwards.
+func (r *Registry) SetTimelineDepth(n int) {
+	if n <= 0 {
+		n = DefaultTimelineDepth
+	}
+	r.mu.Lock()
+	r.depth = n
+	r.mu.Unlock()
+}
+
+// SetForecastHorizon caps how far past the newest observation GetAt will
+// extrapolate (d <= 0 restores the default). Observation times have
+// one-second resolution, so sub-second caps round up to one second.
+func (r *Registry) SetForecastHorizon(d time.Duration) {
+	if d <= 0 {
+		d = DefaultForecastHorizon
+	} else if d < time.Second {
+		d = time.Second
+	}
+	r.mu.Lock()
+	r.horizon = d
+	r.mu.Unlock()
+}
+
+// ForecastHorizon returns the configured horizon cap.
+func (r *Registry) ForecastHorizon() time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.horizon
 }
 
 // Add registers a platform under a name. The platform is compiled
-// eagerly: the registry always serves a ready snapshot.
+// eagerly — the registry always serves a ready snapshot — and its
+// timeline starts on the compiled base epoch.
 func (r *Registry) Add(name string, entry PlatformEntry) error {
 	if name == "" || entry.Platform == nil {
 		return fmt.Errorf("pilgrim: invalid platform registration %q", name)
 	}
-	re := &regEntry{plat: entry.Platform, cfg: entry.Config}
-	re.snap.Store(entry.snapshot())
+	base := entry.snapshot()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
 		return fmt.Errorf("pilgrim: platform %q already registered", name)
 	}
-	r.entries[name] = re
+	r.entries[name] = &regEntry{
+		plat: entry.Platform,
+		cfg:  entry.Config,
+		tl:   platform.NewTimeline(base, r.depth),
+		bank: nws.NewBank(base.NumLinks()),
+	}
 	return nil
 }
 
-// Get returns the platform registered under name, pinned to its current
-// link-state epoch.
-func (r *Registry) Get(name string) (PlatformEntry, bool) {
+func (r *Registry) lookup(name string) (*regEntry, bool) {
 	r.mu.RLock()
 	re, ok := r.entries[name]
 	r.mu.RUnlock()
+	return re, ok
+}
+
+// Get returns the platform registered under name, pinned to its current
+// (newest-observation) link-state epoch.
+func (r *Registry) Get(name string) (PlatformEntry, bool) {
+	re, ok := r.lookup(name)
 	if !ok {
 		return PlatformEntry{}, false
 	}
-	return PlatformEntry{Platform: re.plat, Config: re.cfg, Snapshot: re.snap.Load()}, true
+	return PlatformEntry{Platform: re.plat, Config: re.cfg, Snapshot: re.tl.Latest()}, true
 }
 
-// UpdateLinkState folds a batch of measured link revisions into the named
-// platform: a new epoch is derived by copy-on-write from the current one
-// and published atomically. Concurrent in-flight forecasts keep the epoch
-// they loaded; subsequent requests (and the forecast cache, which keys by
-// epoch) see the new picture. Returns the published snapshot.
-func (r *Registry) UpdateLinkState(name string, updates []platform.LinkUpdate) (*platform.Snapshot, error) {
-	r.mu.RLock()
-	re, ok := r.entries[name]
-	r.mu.RUnlock()
+// GetAt returns the platform pinned to its link-state epoch at time at
+// (Unix seconds): past times resolve through the timeline (times before
+// the retained history answer the compiled base epoch), future times
+// within the horizon cap answer the NWS-extrapolated forecast epoch, and
+// futures beyond the cap fail with ErrBeyondHorizon. Repeated queries
+// resolve to the same epoch until new observations arrive, so cached
+// forecast answers stay memoized.
+func (r *Registry) GetAt(name string, at int64) (PlatformEntry, error) {
+	re, ok := r.lookup(name)
+	if !ok {
+		return PlatformEntry{}, fmt.Errorf("pilgrim: unknown platform %q", name)
+	}
+	entry := PlatformEntry{Platform: re.plat, Config: re.cfg}
+	last, ok := re.tl.LatestTime()
+	if !ok {
+		// No observation yet: the base epoch is the only known picture,
+		// timeless — serve it for any requested time.
+		entry.Snapshot = re.tl.Latest()
+		return entry, nil
+	}
+	if at <= last {
+		entry.Snapshot = re.tl.AtTime(at)
+		return entry, nil
+	}
+	horizon := int64(r.ForecastHorizon() / time.Second)
+	if at-last > horizon {
+		return PlatformEntry{}, fmt.Errorf("%w: t=%d is %ds past the last observation (%d), cap %ds",
+			ErrBeyondHorizon, at, at-last, last, horizon)
+	}
+	entry.Snapshot = re.forecastEpoch()
+	return entry, nil
+}
+
+// forecastEpoch materializes (or reuses) the synthetic epoch holding the
+// bank's per-link extrapolations on top of the newest observed state.
+func (re *regEntry) forecastEpoch() *platform.Snapshot {
+	re.fmu.Lock()
+	defer re.fmu.Unlock()
+	latest := re.tl.Latest()
+	if re.fsnap != nil && re.fbase == latest.Epoch() {
+		return re.fsnap
+	}
+	re.scratch = re.scratch[:0]
+	for _, li := range re.bank.Observed() {
+		bw, okBW := re.bank.ForecastBandwidth(li)
+		lat, okLat := re.bank.ForecastLatency(li)
+		if !okBW {
+			bw = -1
+		}
+		if !okLat {
+			lat = -1
+		}
+		if okBW || okLat {
+			re.scratch = append(re.scratch, platform.LinkUpdateIdx{Link: li, Bandwidth: bw, Latency: lat})
+		}
+	}
+	if len(re.scratch) == 0 {
+		// Nothing to extrapolate: the latest epoch IS the forecast, and
+		// reusing it keeps cache keys shared with current-time queries.
+		re.fsnap = latest
+	} else {
+		fs, err := latest.WithLinkStateIdx(re.scratch)
+		if err != nil {
+			// Bank indices come from this platform's snapshots; out-of-range
+			// is impossible. Fall back to the latest epoch defensively.
+			fs = latest
+		}
+		re.fsnap = fs
+	}
+	re.fbase = latest.Epoch()
+	return re.fsnap
+}
+
+// ObserveLinkState folds one timestamped, attributed batch of measured
+// link revisions into the named platform: the timeline appends a new
+// copy-on-write epoch (which becomes the picture current-time forecasts
+// answer against), and every measured value feeds the per-link NWS
+// forecaster bank. t is Unix seconds and must not precede the newest
+// recorded observation; source is free provenance text recorded in the
+// timeline. Concurrent in-flight forecasts keep the epoch they loaded.
+// Returns the published snapshot.
+func (r *Registry) ObserveLinkState(name string, t int64, source string, updates []platform.LinkUpdate) (*platform.Snapshot, error) {
+	re, ok := r.lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("pilgrim: unknown platform %q", name)
 	}
-	for {
-		cur := re.snap.Load()
-		next, err := cur.WithLinkState(updates)
-		if err != nil {
-			return nil, err
-		}
-		if re.snap.CompareAndSwap(cur, next) {
-			return next, nil
-		}
-		// Lost a race with a concurrent update; rebase on the new epoch.
+	re.fmu.Lock()
+	defer re.fmu.Unlock()
+	snap, err := re.tl.Append(t, source, updates)
+	if err != nil {
+		return nil, err
 	}
+	for _, u := range updates {
+		li, ok := snap.LinkIndex(u.Link)
+		if !ok {
+			continue // unreachable: Append validated every link
+		}
+		// Mirror WithLinkState's keep-current sentinels so the bank only
+		// learns values that actually entered the epoch.
+		if u.Bandwidth > 0 && !math.IsNaN(u.Bandwidth) && !math.IsInf(u.Bandwidth, 0) {
+			re.bank.ObserveBandwidth(li, u.Bandwidth)
+		}
+		if u.Latency >= 0 && !math.IsNaN(u.Latency) && !math.IsInf(u.Latency, 0) {
+			re.bank.ObserveLatency(li, u.Latency)
+		}
+	}
+	return snap, nil
+}
+
+// UpdateLinkState folds a batch of measured link revisions into the named
+// platform at the current wall-clock time, with generic provenance — the
+// pre-timeline API, kept for callers without observation timestamps.
+func (r *Registry) UpdateLinkState(name string, updates []platform.LinkUpdate) (*platform.Snapshot, error) {
+	return r.ObserveLinkState(name, time.Now().Unix(), "update_links", updates)
+}
+
+// TimelineStats reports the named platform's timeline accounting.
+func (r *Registry) TimelineStats(name string) (platform.TimelineStats, bool) {
+	re, ok := r.lookup(name)
+	if !ok {
+		return platform.TimelineStats{}, false
+	}
+	return re.tl.Stats(), true
+}
+
+// TimelineDepth reports how many observations the named platform's
+// timeline retains — the O(1) accessor the update answer uses (Stats
+// materializes the whole entry list).
+func (r *Registry) TimelineDepth(name string) (int, bool) {
+	re, ok := r.lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return re.tl.Depth(), true
 }
 
 // Names returns the sorted registered platform names.

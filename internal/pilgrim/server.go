@@ -54,6 +54,7 @@ func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 	s.mux.HandleFunc("GET /pilgrim/select_fastest/{platform}", s.handleSelectFastest)
 	s.mux.HandleFunc("POST /pilgrim/predict_workflow/{platform}", s.handleWorkflow)
 	s.mux.HandleFunc("POST /pilgrim/update_links/{platform}", s.handleUpdateLinks)
+	s.mux.HandleFunc("GET /pilgrim/timeline_stats/{platform}", s.handleTimelineStats)
 	s.mux.HandleFunc("GET /pilgrim/cache_stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}/", s.handleRRD)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}", s.handleRRD)
@@ -99,6 +100,12 @@ func parseTransferParam(v string) (TransferRequest, error) {
 	return TransferRequest{Src: parts[0], Dst: parts[1], Size: size}, nil
 }
 
+// platformOf resolves the platform of the request, honoring the optional
+// at=T parameter (Unix seconds or "2006-01-02 15:04:05" UTC): without it
+// the entry is pinned to the newest-observation epoch; with a past T, to
+// the timeline epoch in effect at T; with a future T inside the horizon
+// cap, to the NWS-extrapolated forecast epoch. Beyond-horizon futures and
+// malformed timestamps answer 400, unknown platforms 404.
 func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEntry, bool) {
 	name := r.PathValue("platform")
 	entry, ok := s.platforms.Get(name)
@@ -106,13 +113,25 @@ func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEnt
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
 		return PlatformEntry{}, false
 	}
+	if atParam := r.URL.Query().Get("at"); atParam != "" {
+		at, err := parseTimestamp(atParam)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("at: %v", err), http.StatusBadRequest)
+			return PlatformEntry{}, false
+		}
+		entry, err = s.platforms.GetAt(name, at)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return PlatformEntry{}, false
+		}
+	}
 	return entry, true
 }
 
 // handlePredict implements PNFS (§IV-C2):
 //
 //	GET /pilgrim/predict_transfers/g5k_test?transfer=src,dst,size&...
-//	    [&bg=src,dst]...
+//	    [&bg=src,dst]... [&at=T]
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.platformOf(w, r)
 	if !ok {
@@ -162,7 +181,7 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 
 // handleSelectFastest implements the hypothesis-selection extension:
 //
-//	GET /pilgrim/select_fastest/g5k_test?hypothesis=src,dst,size[;src,dst,size...]&hypothesis=...
+//	GET /pilgrim/select_fastest/g5k_test?hypothesis=src,dst,size[;src,dst,size...]&hypothesis=...[&at=T]
 func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.platformOf(w, r)
 	if !ok {
@@ -218,35 +237,101 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, forecast)
 }
 
-// linkUpdateJSON is one element of the update_links request body. Omitted
-// fields keep the link's current value.
-type linkUpdateJSON struct {
+// LinkObservation is one element of the update_links request body.
+// Omitted fields keep the link's current value.
+type LinkObservation struct {
 	Link      string   `json:"link"`
 	Bandwidth *float64 `json:"bandwidth,omitempty"` // bytes per second
 	Latency   *float64 `json:"latency,omitempty"`   // seconds, one way
 }
 
+// UpdateLinksRequest is the timestamped update_links body: when the
+// observation was taken (Unix seconds; as sent by clients — the server
+// additionally accepts "2006-01-02 15:04:05" strings and defaults to the
+// arrival time when omitted) and who measured it.
+type UpdateLinksRequest struct {
+	Time    int64             `json:"time,omitempty"`
+	Source  string            `json:"source,omitempty"`
+	Updates []LinkObservation `json:"updates"`
+}
+
+// UpdateLinksResponse reports the epoch an observation batch published.
+type UpdateLinksResponse struct {
+	Platform string `json:"platform"`
+	Epoch    uint64 `json:"epoch"`
+	Updated  int    `json:"links_updated"`
+	Time     int64  `json:"time"`
+	Source   string `json:"source"`
+	Depth    int    `json:"timeline_depth"`
+}
+
+// TimelineStatsResponse is the timeline_stats answer: the platform's
+// retained observation history plus the server's horizon cap.
+type TimelineStatsResponse struct {
+	Platform          string `json:"platform"`
+	HorizonMaxSeconds int64  `json:"horizon_max_seconds"`
+	platform.TimelineStats
+}
+
 // handleUpdateLinks closes the paper's measure→update→forecast loop: a
-// metrology agent POSTs measured link state, the registry derives a new
-// copy-on-write snapshot epoch, and every subsequent forecast (and cache
-// key) is answered against the revised picture.
+// metrology agent POSTs measured link state, the observation is appended
+// to the platform's epoch timeline (and feeds its forecaster bank), and
+// every subsequent forecast (and cache key) is answered against the
+// revised picture.
 //
 //	POST /pilgrim/update_links/g5k_test
-//	[{"link": "sagittaire-1.lyon.grid5000.fr_nic", "bandwidth": 9.1e7}]
+//	{"time": 1336111200, "source": "iperf",
+//	 "updates": [{"link": "sagittaire-1.lyon.grid5000.fr_nic", "bandwidth": 9.1e7}]}
 //
-// The body is a JSON array of {"link", "bandwidth", "latency"} objects;
-// bandwidth is in bytes/s, latency in seconds, and omitted fields keep
-// the current value. The answer reports the published epoch.
+// time is Unix seconds or "2006-01-02 15:04:05" (UTC), defaulting to the
+// arrival time; it must not precede the newest recorded observation.
+// source is free provenance text (default "update_links"). Each update
+// carries bandwidth in bytes/s and/or latency in seconds; omitted fields
+// keep the current value. A bare JSON array of updates (the pre-timeline
+// body) is still accepted and stamped with the arrival time. The answer
+// reports the published epoch.
 func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("platform")
 	if _, ok := s.platforms.Get(name); !ok {
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
 		return
 	}
-	var body []linkUpdateJSON
-	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&body); err != nil {
-		http.Error(w, fmt.Sprintf("decoding link updates: %v", err), http.StatusBadRequest)
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
 		return
+	}
+	when := time.Now().Unix()
+	source := "update_links"
+	var body []LinkObservation
+	if trimmed := strings.TrimLeft(string(raw), " \t\r\n"); strings.HasPrefix(trimmed, "[") {
+		// Legacy body: a bare update array, stamped with the arrival time.
+		if err := json.Unmarshal(raw, &body); err != nil {
+			http.Error(w, fmt.Sprintf("decoding link updates: %v", err), http.StatusBadRequest)
+			return
+		}
+	} else {
+		var req struct {
+			Time    json.RawMessage   `json:"time"`
+			Source  string            `json:"source"`
+			Updates []LinkObservation `json:"updates"`
+		}
+		if err := json.Unmarshal(raw, &req); err != nil {
+			http.Error(w, fmt.Sprintf("decoding link updates: %v", err), http.StatusBadRequest)
+			return
+		}
+		if len(req.Time) > 0 {
+			ts, err := parseTimestamp(strings.Trim(string(req.Time), `"`))
+			if err != nil {
+				http.Error(w, fmt.Sprintf("time: %v", err), http.StatusBadRequest)
+				return
+			}
+			when = ts
+		}
+		if req.Source != "" {
+			source = req.Source
+		}
+		body = req.Updates
 	}
 	if len(body) == 0 {
 		http.Error(w, "at least one link update required", http.StatusBadRequest)
@@ -279,16 +364,37 @@ func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
 		}
 		updates[i] = upd
 	}
-	snap, err := s.platforms.UpdateLinkState(name, updates)
+	snap, err := s.platforms.ObserveLinkState(name, when, source, updates)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, struct {
-		Platform string `json:"platform"`
-		Epoch    uint64 `json:"epoch"`
-		Updated  int    `json:"links_updated"`
-	}{Platform: name, Epoch: snap.Epoch(), Updated: len(updates)})
+	depth, _ := s.platforms.TimelineDepth(name)
+	writeJSON(w, UpdateLinksResponse{
+		Platform: name, Epoch: snap.Epoch(), Updated: len(updates),
+		Time: when, Source: source, Depth: depth,
+	})
+}
+
+// handleTimelineStats reports the named platform's observation history:
+//
+//	GET /pilgrim/timeline_stats/g5k_test
+//
+// The answer lists the retained timestamped epochs (id, provenance,
+// links changed), the history bound, eviction counters, and the horizon
+// cap applied to at= queries.
+func (s *Server) handleTimelineStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("platform")
+	st, ok := s.platforms.TimelineStats(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, TimelineStatsResponse{
+		Platform:          name,
+		HorizonMaxSeconds: int64(s.platforms.ForecastHorizon() / time.Second),
+		TimelineStats:     st,
+	})
 }
 
 // handleRRD implements the metrology service (§IV-C1):

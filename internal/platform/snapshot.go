@@ -440,44 +440,82 @@ func (s *Snapshot) LinkLatency(i int32) float64 {
 	return s.lat[i>>statePageShift][i&statePageMask]
 }
 
-// WithLinkState derives a new epoch with the given link revisions applied.
-// Topology, compiled routes and unchanged link-state pages are shared with
-// the receiver; only the page table and the pages holding changed entries
-// are copied, so the cost is O(changed links) regardless of platform
-// size. The receiver is unaffected.
-func (s *Snapshot) WithLinkState(updates []LinkUpdate) (*Snapshot, error) {
-	ns := &Snapshot{
+// LinkUpdateIdx is LinkUpdate addressed by dense link index — the form
+// the forecaster bank emits, skipping the name lookup on the hot path.
+// The keep-current sentinels are the same: Bandwidth <= 0 (or NaN) keeps
+// the bandwidth, Latency < 0 (or NaN) keeps the latency.
+type LinkUpdateIdx struct {
+	Link      int32
+	Bandwidth float64
+	Latency   float64
+}
+
+// newEpochFrom starts a derived epoch sharing all link-state pages with
+// the receiver.
+func (s *Snapshot) newEpochFrom() *Snapshot {
+	return &Snapshot{
 		topo:     s.topo,
 		epoch:    snapshotEpochs.Add(1),
 		bw:       append([]*statePage(nil), s.bw...),
 		lat:      append([]*statePage(nil), s.lat...),
 		latDirty: s.latDirty,
 	}
-	// cowSet writes val into its page, duplicating the page the first time
-	// this derivation touches it: a page still shared with the parent is
-	// recognized by pointer equality against the parent's table.
-	cowSet := func(pages, parent []*statePage, i int32, val float64) {
-		pi := i >> statePageShift
-		if pages[pi] == parent[pi] {
-			pg := *pages[pi]
-			pages[pi] = &pg
-		}
-		pages[pi][i&statePageMask] = val
+}
+
+// cowSet writes val into its page, duplicating the page the first time a
+// derivation touches it: a page still shared with the parent is
+// recognized by pointer equality against the parent's table.
+func cowSet(pages, parent []*statePage, i int32, val float64) {
+	pi := i >> statePageShift
+	if pages[pi] == parent[pi] {
+		pg := *pages[pi]
+		pages[pi] = &pg
 	}
+	pages[pi][i&statePageMask] = val
+}
+
+// applyLinkUpdate folds one link revision into the derived epoch ns.
+func (ns *Snapshot) applyLinkUpdate(parent *Snapshot, i int32, bandwidth, latency float64) {
+	if bandwidth > 0 && !math.IsNaN(bandwidth) && !math.IsInf(bandwidth, 0) {
+		cowSet(ns.bw, parent.bw, i, bandwidth)
+	}
+	if latency >= 0 && !math.IsNaN(latency) && !math.IsInf(latency, 0) {
+		if latency != ns.LinkLatency(i) {
+			ns.latDirty = true
+		}
+		cowSet(ns.lat, parent.lat, i, latency)
+	}
+}
+
+// WithLinkState derives a new epoch with the given link revisions applied.
+// Topology, compiled routes and unchanged link-state pages are shared with
+// the receiver; only the page table and the pages holding changed entries
+// are copied, so the cost is O(changed links) regardless of platform
+// size. The receiver is unaffected.
+func (s *Snapshot) WithLinkState(updates []LinkUpdate) (*Snapshot, error) {
+	ns := s.newEpochFrom()
 	for _, u := range updates {
 		i, ok := s.topo.linkIdx[u.Link]
 		if !ok {
 			return nil, fmt.Errorf("platform: unknown link %q in link-state update", u.Link)
 		}
-		if u.Bandwidth > 0 && !math.IsNaN(u.Bandwidth) && !math.IsInf(u.Bandwidth, 0) {
-			cowSet(ns.bw, s.bw, i, u.Bandwidth)
+		ns.applyLinkUpdate(s, i, u.Bandwidth, u.Latency)
+	}
+	return ns, nil
+}
+
+// WithLinkStateIdx is WithLinkState over dense link indices: the same
+// copy-on-write derivation without the name lookups. State semantics are
+// identical — an index-addressed batch and its name-addressed equivalent
+// produce bit-identical link state.
+func (s *Snapshot) WithLinkStateIdx(updates []LinkUpdateIdx) (*Snapshot, error) {
+	ns := s.newEpochFrom()
+	n := int32(len(s.topo.linkNames))
+	for _, u := range updates {
+		if u.Link < 0 || u.Link >= n {
+			return nil, fmt.Errorf("platform: link index %d out of range in link-state update", u.Link)
 		}
-		if u.Latency >= 0 && !math.IsNaN(u.Latency) && !math.IsInf(u.Latency, 0) {
-			if u.Latency != ns.LinkLatency(i) {
-				ns.latDirty = true
-			}
-			cowSet(ns.lat, s.lat, i, u.Latency)
-		}
+		ns.applyLinkUpdate(s, u.Link, u.Bandwidth, u.Latency)
 	}
 	return ns, nil
 }
