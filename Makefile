@@ -5,9 +5,10 @@
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 # The key benchmarks: the two heaviest figure cells, the paper's
-# 30-transfer latency claim, the hypothesis-selection fan-out, and the
-# snapshot layer's concurrency/copy-on-write claims.
-KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon
+# 30-transfer latency claim, the hypothesis-selection fan-out, the
+# snapshot layer's concurrency/copy-on-write claims, and the scenario
+# overlay/batched-evaluation claims.
+KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon|BenchmarkApplyOverlay|BenchmarkEvaluate30x8
 
 .PHONY: all build test vet race bench bench-smoke bench-check bench-baseline clean
 

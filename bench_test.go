@@ -11,6 +11,8 @@
 package pilgrim_bench
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"pilgrim/internal/pilgrim"
 	"pilgrim/internal/platform"
 	"pilgrim/internal/platgen"
+	"pilgrim/internal/scenario"
 	"pilgrim/internal/sim"
 	"pilgrim/internal/stats"
 	"pilgrim/internal/testbed"
@@ -410,6 +413,96 @@ func BenchmarkPredictAtHorizon(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkApplyOverlay measures deriving a scenario epoch — a batch of 4
+// link mutations and one host failure folded into one copy-on-write
+// derivation with one epoch id — the per-scenario setup cost of the
+// evaluate endpoint.
+func BenchmarkApplyOverlay(b *testing.B) {
+	setup(b)
+	snap := entry.Platform.Snapshot()
+	links := entry.Platform.Links()
+	nan := math.NaN()
+	overlay := make([]platform.OverlayLink, 4)
+	for i := range overlay {
+		li, ok := snap.LinkIndex(links[i].ID)
+		if !ok {
+			b.Fatal("missing link")
+		}
+		overlay[i] = platform.OverlayLink{Link: li, Bandwidth: 6e7 + float64(i)*1e6, Latency: nan}
+	}
+	hosts := []platform.OverlayHost{{Host: 0, Speed: 0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.ApplyOverlay(overlay, hosts, "bench overlay"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate30x8 pins the batched-evaluation claim: 8 what-if
+// scenarios × one 30-transfer query, answered through the full evaluate
+// machinery (overlay cache, per-snapshot plan runner, forecast-cache
+// dedup). In the steady state of a polling scheduler the derived epochs
+// and their answers are all memoized, so the per-scenario marginal cost —
+// reported as scenario-ns/op — must sit far below one cold Predict30
+// (BenchmarkPredict30Transfers).
+func BenchmarkEvaluate30x8(b *testing.B) {
+	setup(b)
+	reg := pilgrim.NewRegistry()
+	if err := reg.Add("g5k_test", entry); err != nil {
+		b.Fatal(err)
+	}
+	ev := &pilgrim.Evaluator{
+		Platforms: reg,
+		Cache:     pilgrim.NewForecastCache(1024),
+		Pool:      pilgrim.NewWorkerPool(0),
+		Overlays:  pilgrim.NewOverlayCache(64),
+	}
+	rng := stats.NewRNG(42)
+	hosts := entry.Platform.Hosts()
+	links := entry.Platform.Links()
+	idx := rng.Sample(len(hosts), 60)
+	var reqs []pilgrim.TransferRequest
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, pilgrim.TransferRequest{
+			Src: hosts[idx[k]].ID, Dst: hosts[idx[30+k]].ID, Size: 5e8,
+		})
+	}
+	scenarios := []scenario.Scenario{{Name: "baseline"}}
+	for s := 1; s < 8; s++ {
+		scenarios = append(scenarios, scenario.Scenario{
+			Name: fmt.Sprintf("deg-%d", s),
+			Mutations: []scenario.Mutation{{
+				Op: scenario.OpScaleLink, Link: links[s].ID, BandwidthFactor: 0.5,
+			}},
+		})
+	}
+	req := pilgrim.EvaluateRequest{
+		Scenarios: scenarios,
+		Queries: []pilgrim.EvalQuery{
+			{Kind: pilgrim.QueryPredictTransfers, Transfers: reqs},
+		},
+	}
+	// Warm pass: derive the 8 epochs and run the 8 cold simulations.
+	if _, err := ev.Evaluate("g5k_test", req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := ev.Evaluate("g5k_test", req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Stats.Simulations != 0 {
+			b.Fatalf("steady state re-simulated: %+v", resp.Stats)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/8, "scenario-ns/op")
 }
 
 // BenchmarkPlatformG5KTest / Cabinets measure generating the two platform

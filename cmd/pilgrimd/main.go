@@ -7,6 +7,7 @@
 //	         [-gamma-latfactor] [-equipment-limits] [-measured-latencies]
 //	         [-forecast-cache N] [-forecast-workers N]
 //	         [-timeline-depth N] [-forecast-horizon-max D]
+//	         [-max-scenarios N] [-max-evaluate-fanout N]
 //
 // Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
 // reference description — fetched from a reference API server when
@@ -19,7 +20,9 @@
 // forecaster bank, so predict_transfers/select_fastest can answer at any
 // past time — and extrapolate up to -forecast-horizon-max into the
 // future. An RRD file tree (as written by the metrology collector) can be
-// served with -rrd-tree.
+// served with -rrd-tree. Batched what-if evaluation
+// (POST /pilgrim/evaluate/{platform}: N scenarios × M queries) is bounded
+// by -max-scenarios and -max-evaluate-fanout.
 package main
 
 import (
@@ -48,6 +51,8 @@ func main() {
 	workers := flag.Int("forecast-workers", pilgrim.DefaultForecastWorkers, "concurrent hypothesis simulations for select_fastest (1 = sequential)")
 	tlDepth := flag.Int("timeline-depth", pilgrim.DefaultTimelineDepth, "link-state observations retained per platform timeline")
 	horizon := flag.Duration("forecast-horizon-max", pilgrim.DefaultForecastHorizon, "how far past the newest observation at= queries may extrapolate (beyond: HTTP 400)")
+	maxScenarios := flag.Int("max-scenarios", pilgrim.DefaultMaxScenarios, "scenarios accepted per evaluate request")
+	maxFanout := flag.Int("max-evaluate-fanout", pilgrim.DefaultMaxEvaluateCells, "scenario×query cells accepted per evaluate request")
 	flag.Parse()
 
 	if *tlDepth < 1 {
@@ -58,16 +63,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pilgrimd: -forecast-horizon-max must be >= 1s")
 		os.Exit(2)
 	}
+	if *maxScenarios < 1 || *maxFanout < 1 {
+		fmt.Fprintln(os.Stderr, "pilgrimd: -max-scenarios and -max-evaluate-fanout must be >= 1")
+		os.Exit(2)
+	}
 
 	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat,
-		*cacheSize, *workers, *tlDepth, *horizon); err != nil {
+		*cacheSize, *workers, *tlDepth, *horizon, *maxScenarios, *maxFanout); err != nil {
 		fmt.Fprintln(os.Stderr, "pilgrimd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool,
-	cacheSize, workers, tlDepth int, horizon time.Duration) error {
+	cacheSize, workers, tlDepth int, horizon time.Duration, maxScenarios, maxFanout int) error {
 	ref := g5k.Default()
 	if g5kAPI != "" {
 		fetched, err := g5k.Fetch(nil, g5kAPI)
@@ -116,7 +125,8 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool,
 	if workers != pilgrim.DefaultForecastWorkers {
 		server.SetForecastWorkers(workers)
 	}
-	log.Printf("pilgrimd listening on %s (forecast cache: %d entries, %d forecast workers, timeline depth %d, horizon cap %s)",
-		addr, cacheSize, workers, tlDepth, horizon)
+	server.SetEvaluateLimits(maxScenarios, maxFanout)
+	log.Printf("pilgrimd listening on %s (forecast cache: %d entries, %d forecast workers, timeline depth %d, horizon cap %s, evaluate limits %d scenarios / %d cells)",
+		addr, cacheSize, workers, tlDepth, horizon, maxScenarios, maxFanout)
 	return http.ListenAndServe(addr, server)
 }

@@ -1,0 +1,116 @@
+// Scenarios demonstrates batched what-if evaluation: instead of asking
+// the forecaster one question against the live network, a single evaluate
+// batch sweeps a bundle of hypotheticals — a degraded access link, a
+// failed backbone NIC, doubled background traffic — over the same query
+// set and answers the full grid at once. Each scenario is one
+// copy-on-write epoch derivation (O(changed resources)); identical
+// (epoch, config, query) sub-simulations are deduplicated through the
+// forecast cache, so the marginal cost of one more scenario is far below
+// one cold prediction.
+//
+// Run with: go run ./examples/scenarios
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/scenario"
+	"pilgrim/internal/sim"
+)
+
+func main() {
+	plat, err := platgen.Generate(g5k.Default(), platgen.Options{Variant: platgen.G5KTest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := pilgrim.NewRegistry()
+	if err := reg.Add("g5k_test", pilgrim.PlatformEntry{Platform: plat, Config: sim.DefaultConfig()}); err != nil {
+		log.Fatal(err)
+	}
+	ev := &pilgrim.Evaluator{
+		Platforms: reg,
+		Cache:     pilgrim.NewForecastCache(256),
+		Pool:      pilgrim.NewWorkerPool(0),
+		Overlays:  pilgrim.NewOverlayCache(64),
+	}
+
+	const (
+		src = "sagittaire-1.lyon.grid5000.fr"
+		dst = "graphene-1.nancy.grid5000.fr"
+		alt = "sagittaire-2.lyon.grid5000.fr"
+		nic = "sagittaire-1.lyon.grid5000.fr_nic"
+	)
+
+	req := pilgrim.EvaluateRequest{
+		Scenarios: []scenario.Scenario{
+			{Name: "baseline"},
+			{Name: "nic-degraded-40%", Mutations: []scenario.Mutation{
+				{Op: scenario.OpScaleLink, Link: nic, BandwidthFactor: 0.6},
+			}},
+			{Name: "nic-failed", Mutations: []scenario.Mutation{
+				{Op: scenario.OpFailLink, Link: nic},
+			}},
+			{Name: "crowded", Mutations: []scenario.Mutation{
+				{Op: scenario.OpBgTraffic, Src: alt, Dst: dst, Flows: 2},
+			}},
+		},
+		Queries: []pilgrim.EvalQuery{
+			{Kind: pilgrim.QueryPredictTransfers, Transfers: []pilgrim.TransferRequest{
+				{Src: src, Dst: dst, Size: 5e8},
+			}},
+			{Kind: pilgrim.QuerySelectFastest, Hypotheses: []pilgrim.Hypothesis{
+				{Transfers: []pilgrim.TransferRequest{{Src: src, Dst: dst, Size: 5e8}}},
+				{Transfers: []pilgrim.TransferRequest{{Src: alt, Dst: dst, Size: 5e8}}},
+			}},
+		},
+	}
+
+	resp, err := ev.Evaluate("g5k_test", req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("what-if sweep on %s (%d scenarios × %d queries = %d cells, %d simulations run):\n\n",
+		resp.Platform, resp.Stats.Scenarios, resp.Stats.Queries, resp.Stats.Cells, resp.Stats.Simulations)
+	fmt.Printf("  %-18s %-14s %-22s %s\n", "scenario", "500MB src→dst", "fastest hypothesis", "epoch provenance")
+	for _, row := range resp.Scenarios {
+		if row.Error != "" {
+			fmt.Printf("  %-18s scenario error: %s\n", row.Name, row.Error)
+			continue
+		}
+		transfer := "—"
+		if r := row.Results[0]; r.Error != "" {
+			transfer = "unreachable"
+		} else {
+			transfer = fmt.Sprintf("%.2f s", r.Predictions[0].Duration)
+		}
+		fastest := "—"
+		if r := row.Results[1]; r.Error != "" {
+			fastest = "error: " + firstLine(r.Error)
+		} else {
+			fastest = fmt.Sprintf("#%d (%.2f s)", *r.Best, r.Hypotheses[*r.Best].Makespan)
+		}
+		prov := row.Provenance
+		if prov == "" {
+			prov = "(live epoch)"
+		}
+		fmt.Printf("  %-18s %-14s %-22s %s\n", row.Name, transfer, fastest, prov)
+	}
+	fmt.Printf("\n  dedup: %d cells answered by %d simulations (%d cache-served)\n",
+		resp.Stats.Cells, resp.Stats.Simulations, resp.Stats.CacheHits)
+	fmt.Println("\nnote: the failed-NIC scenario still answers hypothesis #1 — the")
+	fmt.Println("sweep reports per-cell failures instead of aborting the batch.")
+}
+
+func firstLine(s string) string {
+	for i, c := range s {
+		if c == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -52,7 +52,7 @@ func main() {
 		},
 	}
 
-	forecast, err := workflow.Predict(plat, sim.DefaultConfig(), wf)
+	forecast, err := workflow.Predict(plat.Snapshot(), sim.DefaultConfig(), wf)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,9 @@
-package bgtraffic
+package bgtraffic_test
 
 import (
 	"testing"
 
+	"pilgrim/internal/bgtraffic"
 	"pilgrim/internal/g5k"
 	"pilgrim/internal/metrology"
 	"pilgrim/internal/pilgrim"
@@ -12,12 +13,12 @@ import (
 )
 
 func TestEstimateBasicMatching(t *testing.T) {
-	obs := []Observation{
+	obs := []bgtraffic.Observation{
 		{Node: "tx-heavy", TxRate: 90e6},
 		{Node: "rx-heavy", RxRate: 90e6},
 		{Node: "idle", TxRate: 100}, // below MinRate
 	}
-	flows, err := Estimate(obs, DefaultConfig())
+	flows, err := bgtraffic.Estimate(obs, bgtraffic.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,11 +33,11 @@ func TestEstimateBasicMatching(t *testing.T) {
 }
 
 func TestEstimateNeverSelfPairs(t *testing.T) {
-	obs := []Observation{
+	obs := []bgtraffic.Observation{
 		{Node: "both", TxRate: 60e6, RxRate: 60e6},
 		{Node: "other", RxRate: 30e6},
 	}
-	flows, err := Estimate(obs, DefaultConfig())
+	flows, err := bgtraffic.Estimate(obs, bgtraffic.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,8 +50,8 @@ func TestEstimateNeverSelfPairs(t *testing.T) {
 
 func TestEstimateOnlySelfReceiver(t *testing.T) {
 	// The only receiver is the sender itself: no flows, no hang.
-	obs := []Observation{{Node: "solo", TxRate: 90e6, RxRate: 90e6}}
-	flows, err := Estimate(obs, DefaultConfig())
+	obs := []bgtraffic.Observation{{Node: "solo", TxRate: 90e6, RxRate: 90e6}}
+	flows, err := bgtraffic.Estimate(obs, bgtraffic.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,13 +61,13 @@ func TestEstimateOnlySelfReceiver(t *testing.T) {
 }
 
 func TestEstimateMaxFlowsCap(t *testing.T) {
-	obs := []Observation{
+	obs := []bgtraffic.Observation{
 		{Node: "a", TxRate: 300e6},
 		{Node: "b", RxRate: 300e6},
 	}
-	cfg := DefaultConfig()
+	cfg := bgtraffic.DefaultConfig()
 	cfg.MaxFlows = 4
-	flows, err := Estimate(obs, cfg)
+	flows, err := bgtraffic.Estimate(obs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,23 +77,23 @@ func TestEstimateMaxFlowsCap(t *testing.T) {
 }
 
 func TestEstimateRejectsBadConfig(t *testing.T) {
-	if _, err := Estimate(nil, Config{}); err == nil {
+	if _, err := bgtraffic.Estimate(nil, bgtraffic.Config{}); err == nil {
 		t.Error("zero RatePerFlow accepted")
 	}
 }
 
 func TestEstimateDeterministic(t *testing.T) {
-	obs := []Observation{
+	obs := []bgtraffic.Observation{
 		{Node: "n1", TxRate: 60e6},
 		{Node: "n2", TxRate: 60e6},
 		{Node: "n3", RxRate: 60e6},
 		{Node: "n4", RxRate: 60e6},
 	}
-	a, err := Estimate(obs, DefaultConfig())
+	a, err := bgtraffic.Estimate(obs, bgtraffic.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Estimate(obs, DefaultConfig())
+	b, err := bgtraffic.Estimate(obs, bgtraffic.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFromMetrology(t *testing.T) {
 	if err := reg.Collect(0, 3600); err != nil {
 		t.Fatal(err)
 	}
-	obs, err := FromMetrology(reg, "ganglia", 600, 3000)
+	obs, err := bgtraffic.FromMetrology(reg, "ganglia", 600, 3000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFromMetrology(t *testing.T) {
 	if obs[0].RxRate < 0.5e6 || obs[0].RxRate > 1.5e6 {
 		t.Errorf("rx rate = %.3g, want ~1e6", obs[0].RxRate)
 	}
-	if _, err := FromMetrology(reg, "ganglia", 100, 100); err == nil {
+	if _, err := bgtraffic.FromMetrology(reg, "ganglia", 100, 100); err == nil {
 		t.Error("empty window accepted")
 	}
 }
@@ -174,11 +175,11 @@ func TestEndToEndBackgroundInjection(t *testing.T) {
 	if err := reg.Collect(0, 1800); err != nil {
 		t.Fatal(err)
 	}
-	obs, err := FromMetrology(reg, "ganglia", 300, 1500)
+	obs, err := bgtraffic.FromMetrology(reg, "ganglia", 300, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
-	flows, err := Estimate(obs, DefaultConfig())
+	flows, err := bgtraffic.Estimate(obs, bgtraffic.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

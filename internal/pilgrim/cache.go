@@ -83,17 +83,25 @@ func canonicalize(transfers []TransferRequest) []int {
 	return order
 }
 
-// cacheKey builds the canonical lookup key. Sizes are keyed by their
-// exact bit pattern so no two distinct workloads collide, and the
-// snapshot epoch and config of the entry are part of the key: epochs are
-// globally unique per network picture, so a link-state update (or a
-// platform rebuild) naturally retires every cached answer computed
-// against the old state, and two entries registered under the same name
-// with different model configurations never share answers.
-func cacheKey(platform string, entry PlatformEntry, transfers []TransferRequest, order []int, background [][2]string) string {
+// The canonical lookup key has three parts: an entry prefix (platform
+// name, snapshot epoch, model config), the transfer multiset in canonical
+// order with sizes keyed by exact bit pattern, and the sorted background
+// multiset. Epochs are globally unique per network picture, so a
+// link-state update (or a platform rebuild) naturally retires every
+// cached answer computed against the old state, and two entries
+// registered under the same name with different model configurations
+// never share answers. The split lets the evaluate layer canonicalize a
+// query once and re-key it per scenario epoch with one concatenation.
+
+// cacheKeyPrefix keys the (platform, epoch, config) the answer is valid
+// for.
+func cacheKeyPrefix(platform string, entry PlatformEntry) string {
+	return fmt.Sprintf("%s\x1c%d\x1c%+v", platform, entry.snapshot().Epoch(), entry.Config)
+}
+
+// transfersKey keys the transfer multiset (in the canonical order given).
+func transfersKey(transfers []TransferRequest, order []int) string {
 	var b strings.Builder
-	b.WriteString(platform)
-	fmt.Fprintf(&b, "\x1c%d\x1c%+v", entry.snapshot().Epoch(), entry.Config)
 	for _, i := range order {
 		t := transfers[i]
 		b.WriteByte(0x1e)
@@ -103,16 +111,117 @@ func cacheKey(platform string, entry PlatformEntry, transfers []TransferRequest,
 		b.WriteByte(0x1f)
 		b.WriteString(strconv.FormatUint(math.Float64bits(t.Size), 16))
 	}
-	bg := make([]string, len(background))
-	for i, p := range background {
-		bg[i] = p[0] + "\x1f" + p[1]
+	return b.String()
+}
+
+// backgroundKey keys a background multiset already in canonical (sorted)
+// order.
+func backgroundKey(background [][2]string) string {
+	if len(background) == 0 {
+		return ""
 	}
-	sort.Strings(bg)
-	for _, p := range bg {
+	var b strings.Builder
+	for _, p := range background {
 		b.WriteByte(0x1d)
-		b.WriteString(p)
+		b.WriteString(p[0])
+		b.WriteByte(0x1f)
+		b.WriteString(p[1])
 	}
 	return b.String()
+}
+
+// cacheKey builds the full canonical lookup key; background must already
+// be in canonical order.
+func cacheKey(platform string, entry PlatformEntry, transfers []TransferRequest, order []int, background [][2]string) string {
+	return cacheKeyPrefix(platform, entry) + transfersKey(transfers, order) + backgroundKey(background)
+}
+
+// canonicalBackground returns the background multiset in canonical
+// (sorted) order. Background flows are part of the canonical workload:
+// simulating them in sorted order means the answer for a logical workload
+// does not depend on which bg parameter ordering happened to arrive
+// first.
+func canonicalBackground(background [][2]string) [][2]string {
+	if len(background) > 1 {
+		background = append([][2]string(nil), background...)
+		sort.Slice(background, func(i, j int) bool {
+			if background[i][0] != background[j][0] {
+				return background[i][0] < background[j][0]
+			}
+			return background[i][1] < background[j][1]
+		})
+	}
+	return background
+}
+
+// canonicalQuery is one prediction workload in canonical form: the cache
+// key, the transfers in canonical simulation order, the sorted background
+// flows, and the permutation mapping canonical results back to request
+// order. It is the unit the evaluate layer deduplicates: two sub-
+// simulations with equal keys are the same (epoch, config, query) triple
+// and pay for one simulation between them.
+type canonicalQuery struct {
+	key        string
+	transfers  []TransferRequest
+	background [][2]string
+	order      []int
+}
+
+// canonicalizeQuery lowers one request into canonical form. The entry
+// must already be pinned (WithSnapshot) so the key and the simulation see
+// the same epoch.
+func canonicalizeQuery(platform string, entry PlatformEntry, transfers []TransferRequest, background [][2]string) canonicalQuery {
+	order := canonicalize(transfers)
+	background = canonicalBackground(background)
+	canonicalReq := make([]TransferRequest, len(transfers))
+	for pos, i := range order {
+		canonicalReq[pos] = transfers[i]
+	}
+	return canonicalQuery{
+		key:        cacheKey(platform, entry, transfers, order, background),
+		transfers:  canonicalReq,
+		background: background,
+		order:      order,
+	}
+}
+
+// Lookup probes the cache for a canonical key, counting a hit or miss.
+// The returned predictions are in canonical order and shared — callers
+// reorder via the query's permutation, never mutate.
+func (fc *ForecastCache) Lookup(key string) ([]Prediction, bool) {
+	if fc == nil {
+		return nil, false
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.capacity > 0 {
+		if el, ok := fc.entries[key]; ok {
+			fc.lru.MoveToFront(el)
+			fc.hits++
+			return el.Value.(*cacheEntry).preds, true
+		}
+	}
+	fc.misses++
+	return nil, false
+}
+
+// Store memoizes a canonical-order answer under its key (no-op when
+// caching is disabled; a concurrent filler's entry wins).
+func (fc *ForecastCache) Store(key string, canonical []Prediction) {
+	if fc == nil || fc.capacity <= 0 {
+		return
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if _, ok := fc.entries[key]; ok { // concurrent request filled it
+		return
+	}
+	fc.entries[key] = fc.lru.PushFront(&cacheEntry{key: key, preds: canonical})
+	for fc.lru.Len() > fc.capacity {
+		oldest := fc.lru.Back()
+		fc.lru.Remove(oldest)
+		delete(fc.entries, oldest.Value.(*cacheEntry).key)
+	}
 }
 
 // Predict answers a PNFS request through the cache: platform names the
@@ -125,62 +234,18 @@ func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers
 	// Pin the epoch once: the cache key and the simulation below must see
 	// the same snapshot even if the platform is recompiled mid-request.
 	entry = entry.WithSnapshot()
-	order := canonicalize(transfers)
-	// Background flows are part of the canonical workload too: simulate
-	// them in sorted order so the answer for a logical workload does not
-	// depend on which bg parameter ordering happened to arrive first.
-	if len(background) > 1 {
-		background = append([][2]string(nil), background...)
-		sort.Slice(background, func(i, j int) bool {
-			if background[i][0] != background[j][0] {
-				return background[i][0] < background[j][0]
-			}
-			return background[i][1] < background[j][1]
-		})
+	q := canonicalizeQuery(platform, entry, transfers, background)
+	if canonical, ok := fc.Lookup(q.key); ok {
+		return reorder(canonical, q.order), nil
 	}
-	key := cacheKey(platform, entry, transfers, order, background)
-
-	if fc.capacity > 0 {
-		fc.mu.Lock()
-		if el, ok := fc.entries[key]; ok {
-			fc.lru.MoveToFront(el)
-			canonical := el.Value.(*cacheEntry).preds
-			fc.hits++
-			fc.mu.Unlock()
-			return reorder(canonical, order), nil
-		}
-		fc.misses++
-		fc.mu.Unlock()
-	} else {
-		fc.mu.Lock()
-		fc.misses++
-		fc.mu.Unlock()
-	}
-
 	// Simulate in canonical order so a given logical workload always
 	// produces a bit-identical answer regardless of parameter order.
-	canonicalReq := make([]TransferRequest, len(transfers))
-	for pos, i := range order {
-		canonicalReq[pos] = transfers[i]
-	}
-	canonical, err := PredictTransfers(entry, canonicalReq, background)
+	canonical, err := PredictTransfers(entry, q.transfers, q.background)
 	if err != nil {
 		return nil, err
 	}
-
-	if fc.capacity > 0 {
-		fc.mu.Lock()
-		if _, ok := fc.entries[key]; !ok { // concurrent request may have filled it
-			fc.entries[key] = fc.lru.PushFront(&cacheEntry{key: key, preds: canonical})
-			for fc.lru.Len() > fc.capacity {
-				oldest := fc.lru.Back()
-				fc.lru.Remove(oldest)
-				delete(fc.entries, oldest.Value.(*cacheEntry).key)
-			}
-		}
-		fc.mu.Unlock()
-	}
-	return reorder(canonical, order), nil
+	fc.Store(q.key, canonical)
+	return reorder(canonical, q.order), nil
 }
 
 // SelectFastest is SelectFastest routed through the cache: each

@@ -169,6 +169,42 @@ func (c *Client) TimelineStats(platform string) (TimelineStatsResponse, error) {
 	return out, nil
 }
 
+// Evaluate posts an N-scenario × M-query what-if batch and returns the
+// full answer grid. Scenario compile failures and per-cell simulation
+// failures are reported inside the response, not as a call error.
+func (c *Client) Evaluate(platform string, req EvaluateRequest) (*EvaluateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("pilgrim: encoding evaluate request: %w", err)
+	}
+	u := c.BaseURL + "/pilgrim/evaluate/" + url.PathEscape(platform)
+	resp, err := c.httpClient().Post(u, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("pilgrim: POST evaluate: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("pilgrim: POST evaluate: HTTP %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var out EvaluateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pilgrim: decoding evaluate answer: %w", err)
+	}
+	return &out, nil
+}
+
+// BgEstimate fetches the platform's registered background-traffic
+// estimate (the flows bg_estimate scenario mutations inject).
+func (c *Client) BgEstimate(platform string) (BgEstimateResponse, error) {
+	var out BgEstimateResponse
+	if err := c.getJSON("/pilgrim/bg_estimate/"+url.PathEscape(platform), nil, &out); err != nil {
+		return BgEstimateResponse{}, err
+	}
+	return out, nil
+}
+
 // PredictWorkflow posts a workflow DAG for simulation and returns the
 // forecast schedule (future-work extension §VI).
 func (c *Client) PredictWorkflow(platform string, wf *workflow.Workflow) (*workflow.Forecast, error) {

@@ -1,0 +1,646 @@
+package pilgrim
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pilgrim/internal/platform"
+	"pilgrim/internal/scenario"
+	"pilgrim/internal/sim"
+	"pilgrim/internal/workflow"
+)
+
+// This file implements batched what-if evaluation: one request carries N
+// scenarios (composable epoch mutations, internal/scenario) × M queries
+// (predict_transfers / select_fastest / predict_workflow bodies), and the
+// whole cross-product is answered in one round trip. The machinery
+// exploits three layers built by earlier PRs:
+//
+//   - each scenario compiles to one copy-on-write epoch
+//     (Snapshot.ApplyOverlay — O(changed resources), one epoch id), and
+//     scenarios describing the same hypothetical network share that epoch
+//     through the OverlayCache;
+//   - scenarios sharing an (epoch, background) picture form one *group*,
+//     and groups fan out across the WorkerPool; inside a group every
+//     query runs on a single pooled engine (sim.RunPlan);
+//   - every sub-simulation — a transfer set, a hypothesis — is a
+//     canonical (epoch, config, query) triple deduplicated through the
+//     ForecastCache, so overlapping scenarios and repeated requests pay
+//     for each distinct simulation once.
+
+// Default evaluate limits (the pilgrimd -max-scenarios and
+// -max-evaluate-fanout flags).
+const (
+	DefaultMaxScenarios     = 64
+	DefaultMaxEvaluateCells = 1024
+)
+
+// Query kinds accepted by evaluate.
+const (
+	QueryPredictTransfers = "predict_transfers"
+	QuerySelectFastest    = "select_fastest"
+	QueryPredictWorkflow  = "predict_workflow"
+)
+
+// EvalQuery is one question asked of every scenario in the batch.
+type EvalQuery struct {
+	// Kind selects the query semantics: predict_transfers (Transfers,
+	// optionally Background), select_fastest (Hypotheses), or
+	// predict_workflow (Workflow).
+	Kind string `json:"kind"`
+	// Transfers is the predict_transfers workload.
+	Transfers []TransferRequest `json:"transfers,omitempty"`
+	// Background adds per-query cross-traffic, on top of whatever the
+	// scenario injects.
+	Background [][2]string `json:"bg,omitempty"`
+	// Hypotheses is the select_fastest alternative set.
+	Hypotheses []Hypothesis `json:"hypotheses,omitempty"`
+	// Workflow is the predict_workflow DAG.
+	Workflow *workflow.Workflow `json:"workflow,omitempty"`
+}
+
+// validate checks the query's shape.
+func (q *EvalQuery) validate(i int) error {
+	switch q.Kind {
+	case QueryPredictTransfers:
+		if len(q.Transfers) == 0 {
+			return fmt.Errorf("pilgrim: query %d: predict_transfers needs transfers", i)
+		}
+		for _, t := range q.Transfers {
+			if t.Src == "" || t.Dst == "" || t.Size <= 0 || math.IsNaN(t.Size) || math.IsInf(t.Size, 0) {
+				return fmt.Errorf("pilgrim: query %d: invalid transfer %+v", i, t)
+			}
+		}
+	case QuerySelectFastest:
+		if len(q.Hypotheses) == 0 {
+			return fmt.Errorf("pilgrim: query %d: select_fastest needs hypotheses", i)
+		}
+		for hi, h := range q.Hypotheses {
+			if len(h.Transfers) == 0 {
+				return fmt.Errorf("pilgrim: query %d: hypothesis %d is empty", i, hi)
+			}
+		}
+	case QueryPredictWorkflow:
+		if q.Workflow == nil {
+			return fmt.Errorf("pilgrim: query %d: predict_workflow needs a workflow", i)
+		}
+		if _, err := q.Workflow.Validate(); err != nil {
+			return fmt.Errorf("pilgrim: query %d: %w", i, err)
+		}
+	default:
+		return fmt.Errorf("pilgrim: query %d: unknown kind %q", i, q.Kind)
+	}
+	return nil
+}
+
+// EvaluateRequest is the evaluate body: N scenarios × M queries. An empty
+// scenario list evaluates one implicit baseline scenario (no mutations),
+// making evaluate a pure batch-query API.
+type EvaluateRequest struct {
+	// At evaluates every scenario against the platform's epoch at this
+	// Unix time (same semantics as the at= query parameter; 0 = newest
+	// observation). A scenario's own at_time mutation overrides it.
+	At        int64               `json:"at,omitempty"`
+	Scenarios []scenario.Scenario `json:"scenarios,omitempty"`
+	Queries   []EvalQuery         `json:"queries"`
+}
+
+// EvalResult is one cell of the answer grid: exactly one of the result
+// fields is set, or Error when this scenario cannot answer this query
+// (e.g. a transfer routed over a failed link). A cell error never fails
+// the batch — failure sweeps want the other cells.
+type EvalResult struct {
+	Error       string             `json:"error,omitempty"`
+	Predictions []Prediction       `json:"predictions,omitempty"`
+	Best        *int               `json:"best,omitempty"`
+	Hypotheses  []HypothesisResult `json:"hypotheses,omitempty"`
+	Forecast    *workflow.Forecast `json:"forecast,omitempty"`
+}
+
+// ScenarioResult is one scenario's row: the epoch it evaluated against,
+// its provenance (the canonical mutation list recorded on the epoch), and
+// one EvalResult per request query. Error is set when the scenario itself
+// failed to compile (unknown resources, beyond-horizon at_time); its
+// Results are then absent.
+type ScenarioResult struct {
+	Name            string       `json:"name,omitempty"`
+	Epoch           uint64       `json:"epoch,omitempty"`
+	Provenance      string       `json:"provenance,omitempty"`
+	BackgroundFlows int          `json:"background_flows,omitempty"`
+	Error           string       `json:"error,omitempty"`
+	Results         []EvalResult `json:"results,omitempty"`
+}
+
+// EvaluateStats is the per-request dedup accounting.
+type EvaluateStats struct {
+	// Scenarios and Queries are the request's grid dimensions; Cells
+	// their product.
+	Scenarios int `json:"scenarios"`
+	Queries   int `json:"queries"`
+	Cells     int `json:"cells"`
+	// Groups is the number of distinct (epoch, background) pictures the
+	// scenarios collapsed to — the unit of parallel fan-out, each running
+	// its queries on one pooled engine.
+	Groups int `json:"groups"`
+	// OverlaysReused counts scenarios whose derived epoch came from the
+	// overlay cache (or was shared within the request) instead of a fresh
+	// ApplyOverlay.
+	OverlaysReused int `json:"overlays_reused"`
+	// Simulations counts sub-simulations actually executed; CacheHits
+	// counts sub-simulations answered from the forecast cache.
+	Simulations int `json:"simulations"`
+	CacheHits   int `json:"cache_hits"`
+}
+
+// EvaluateResponse is the evaluate answer: one row per scenario, in
+// request order, plus the dedup accounting.
+type EvaluateResponse struct {
+	Platform  string           `json:"platform"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Stats     EvaluateStats    `json:"stats"`
+}
+
+// OverlayCache memoizes scenario-derived epochs across requests, keyed by
+// (base epoch, canonical overlay): a failure sweep polled by a scheduler
+// resolves to the same derived epochs every time, which keeps the
+// forecast cache's epoch-keyed entries warm between requests. Bounded
+// LRU; evicted snapshots become collectable once no engine pool flavour
+// pins them.
+type OverlayCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List
+	hits     uint64
+	misses   uint64
+}
+
+type overlayEntry struct {
+	key  string
+	snap *platform.Snapshot
+}
+
+// DefaultOverlayCacheSize is the overlay cache capacity NewServer
+// installs.
+const DefaultOverlayCacheSize = 128
+
+// NewOverlayCache returns an overlay cache holding up to capacity derived
+// epochs (capacity <= 0 disables reuse: every scenario derives afresh).
+func NewOverlayCache(capacity int) *OverlayCache {
+	return &OverlayCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func overlayCacheKey(baseEpoch uint64, key string) string {
+	return strconv.FormatUint(baseEpoch, 16) + "\x1c" + key
+}
+
+func (oc *OverlayCache) get(baseEpoch uint64, key string) (*platform.Snapshot, bool) {
+	if oc == nil {
+		return nil, false
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.capacity > 0 {
+		if el, ok := oc.entries[overlayCacheKey(baseEpoch, key)]; ok {
+			oc.lru.MoveToFront(el)
+			oc.hits++
+			return el.Value.(*overlayEntry).snap, true
+		}
+	}
+	oc.misses++
+	return nil, false
+}
+
+func (oc *OverlayCache) put(baseEpoch uint64, key string, snap *platform.Snapshot) {
+	if oc == nil || oc.capacity <= 0 {
+		return
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	k := overlayCacheKey(baseEpoch, key)
+	if _, ok := oc.entries[k]; ok {
+		return
+	}
+	oc.entries[k] = oc.lru.PushFront(&overlayEntry{key: k, snap: snap})
+	for oc.lru.Len() > oc.capacity {
+		oldest := oc.lru.Back()
+		oc.lru.Remove(oldest)
+		delete(oc.entries, oldest.Value.(*overlayEntry).key)
+	}
+}
+
+// OverlayStats is the overlay cache accounting surfaced by cache_stats.
+type OverlayStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns a snapshot of the overlay cache counters.
+func (oc *OverlayCache) Stats() OverlayStats {
+	if oc == nil {
+		return OverlayStats{}
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return OverlayStats{Hits: oc.hits, Misses: oc.misses, Size: oc.lru.Len(), Capacity: oc.capacity}
+}
+
+// Evaluator bundles the moving parts of batched evaluation. The server
+// assembles one per request from its live configuration; embedders (the
+// examples, the benchmarks) hold one directly.
+type Evaluator struct {
+	Platforms *Registry
+	Cache     *ForecastCache
+	Pool      *WorkerPool
+	// Overlays may be nil (no cross-request epoch reuse).
+	Overlays *OverlayCache
+	// MaxScenarios and MaxCells bound a request (<= 0 selects the
+	// defaults).
+	MaxScenarios int
+	MaxCells     int
+}
+
+// evalGroup is one distinct (epoch, background) picture: the scenarios
+// that collapsed to it and the per-query results computed once for all of
+// them.
+type evalGroup struct {
+	entry     PlatformEntry // pinned to the group's derived epoch
+	bg        [][2]string   // canonical scenario background
+	scenarios []int         // request indices sharing this group
+	results   []EvalResult  // one per request query
+	sims      int           // sub-simulations this group executed
+	hits      int           // sub-simulations answered by the cache
+}
+
+// Evaluate answers one N×M batch for the named platform. Request-shape
+// problems (unknown platform, no queries, limits exceeded) fail the call;
+// per-scenario and per-cell problems are reported inside the response.
+func (ev *Evaluator) Evaluate(name string, req EvaluateRequest) (*EvaluateResponse, error) {
+	reg := ev.Platforms
+	if reg == nil {
+		return nil, fmt.Errorf("pilgrim: evaluator has no registry")
+	}
+	if _, ok := reg.Get(name); !ok {
+		return nil, fmt.Errorf("pilgrim: unknown platform %q", name)
+	}
+	maxScen := ev.MaxScenarios
+	if maxScen <= 0 {
+		maxScen = DefaultMaxScenarios
+	}
+	maxCells := ev.MaxCells
+	if maxCells <= 0 {
+		maxCells = DefaultMaxEvaluateCells
+	}
+	scenarios := req.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []scenario.Scenario{{Name: "baseline"}}
+	}
+	if len(scenarios) > maxScen {
+		return nil, fmt.Errorf("pilgrim: %d scenarios exceed the limit of %d", len(scenarios), maxScen)
+	}
+	if len(req.Queries) == 0 {
+		return nil, fmt.Errorf("pilgrim: at least one query required")
+	}
+	if cells := len(scenarios) * len(req.Queries); cells > maxCells {
+		return nil, fmt.Errorf("pilgrim: %d scenario×query cells exceed the fan-out limit of %d",
+			cells, maxCells)
+	}
+	for i := range req.Queries {
+		if err := req.Queries[i].validate(i); err != nil {
+			return nil, err
+		}
+	}
+
+	resp := &EvaluateResponse{
+		Platform:  name,
+		Scenarios: make([]ScenarioResult, len(scenarios)),
+		Stats: EvaluateStats{
+			Scenarios: len(scenarios),
+			Queries:   len(req.Queries),
+			Cells:     len(scenarios) * len(req.Queries),
+		},
+	}
+
+	// Phase 1 (serial): resolve every scenario to its derived epoch and
+	// collapse equal (epoch, background) pictures into groups.
+	groups := make(map[string]*evalGroup)
+	var order []*evalGroup
+	for si := range scenarios {
+		sc := &scenarios[si]
+		row := &resp.Scenarios[si]
+		row.Name = sc.Name
+
+		entry, err := ev.scenarioBase(name, req.At, sc)
+		if err != nil {
+			row.Error = err.Error()
+			continue
+		}
+		var bgEst [][2]string
+		if sc.WantsBgEstimate() {
+			bgEst, _, _ = reg.BackgroundEstimate(name)
+		}
+		base := entry.snapshot()
+		resolved, err := sc.Resolve(base, bgEst)
+		if err != nil {
+			row.Error = err.Error()
+			continue
+		}
+		snap := base
+		if !resolved.Empty() {
+			key := resolved.Key()
+			cached, ok := ev.Overlays.get(base.Epoch(), key)
+			if ok {
+				snap = cached
+				resp.Stats.OverlaysReused++
+			} else {
+				snap, err = resolved.Apply(base)
+				if err != nil {
+					row.Error = err.Error()
+					continue
+				}
+				ev.Overlays.put(base.Epoch(), key, snap)
+			}
+		}
+		entry.Snapshot = snap
+		row.Epoch = snap.Epoch()
+		row.Provenance = snap.Provenance()
+		row.BackgroundFlows = len(resolved.Background)
+
+		bg := canonicalBackground(resolved.Background)
+		gk := groupKey(snap.Epoch(), bg)
+		g := groups[gk]
+		if g == nil {
+			g = &evalGroup{entry: entry, bg: bg}
+			groups[gk] = g
+			order = append(order, g)
+		}
+		g.scenarios = append(g.scenarios, si)
+	}
+	resp.Stats.Groups = len(order)
+
+	// Phase 2 (parallel): run each group's query batch on one pooled
+	// engine, deduplicating sub-simulations through the forecast cache.
+	// Queries are canonicalized once here — per group only the epoch
+	// prefix of each cache key changes.
+	templates := buildSubTemplates(req.Queries)
+	pool := ev.Pool
+	if pool == nil {
+		pool = defaultPool()
+	}
+	pool.evalCalls.Add(1)
+	pool.evalCells.Add(uint64(resp.Stats.Cells))
+	pool.evalRuns.Add(uint64(len(order)))
+	pool.Run(len(order), func(gi int) {
+		g := order[gi]
+		g.results = ev.runGroup(name, g, req.Queries, templates)
+		pool.evalSims.Add(uint64(g.sims))
+	})
+
+	// Phase 3 (serial): fan group results back into the scenario rows.
+	for _, g := range order {
+		resp.Stats.Simulations += g.sims
+		resp.Stats.CacheHits += g.hits
+		for _, si := range g.scenarios {
+			resp.Scenarios[si].Results = g.results
+		}
+	}
+	return resp, nil
+}
+
+// scenarioBase resolves the epoch a scenario starts from: its own at_time
+// mutation, else the request-level at, else the newest observation.
+func (ev *Evaluator) scenarioBase(name string, reqAt int64, sc *scenario.Scenario) (PlatformEntry, error) {
+	at, ok := sc.At()
+	if !ok {
+		at = reqAt
+	}
+	if at == 0 {
+		entry, found := ev.Platforms.Get(name)
+		if !found {
+			return PlatformEntry{}, fmt.Errorf("pilgrim: unknown platform %q", name)
+		}
+		return entry, nil
+	}
+	return ev.Platforms.GetAt(name, at)
+}
+
+func groupKey(epoch uint64, bg [][2]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%x", epoch)
+	for _, f := range bg {
+		b.WriteByte(0x1d)
+		b.WriteString(f[0])
+		b.WriteByte(0x1f)
+		b.WriteString(f[1])
+	}
+	return b.String()
+}
+
+// subTemplate is the group-independent canonical form of one
+// sub-simulation: the transfer multiset sorted once, its key fragment
+// prebuilt, the sim-level transfer list ready to plan (read-only, shared
+// across groups). Per group, the cache key is the group's entry prefix +
+// tKey + the merged background's key.
+type subTemplate struct {
+	order   []int
+	canon   []TransferRequest
+	sims    []sim.Transfer
+	tKey    string
+	extraBg [][2]string // per-query background (canonical)
+}
+
+func newSubTemplate(transfers []TransferRequest, extraBg [][2]string) subTemplate {
+	order := canonicalize(transfers)
+	canon := make([]TransferRequest, len(transfers))
+	sims := make([]sim.Transfer, len(transfers))
+	for pos, i := range order {
+		canon[pos] = transfers[i]
+		sims[pos] = sim.Transfer{Src: transfers[i].Src, Dst: transfers[i].Dst, Size: transfers[i].Size}
+	}
+	return subTemplate{
+		order:   order,
+		canon:   canon,
+		sims:    sims,
+		tKey:    transfersKey(transfers, order),
+		extraBg: canonicalBackground(extraBg),
+	}
+}
+
+// buildSubTemplates canonicalizes every query's sub-simulations once per
+// request (nil rows for workflow queries, which carry no transfer subs).
+func buildSubTemplates(queries []EvalQuery) [][]subTemplate {
+	out := make([][]subTemplate, len(queries))
+	for qi := range queries {
+		q := &queries[qi]
+		switch q.Kind {
+		case QueryPredictTransfers:
+			out[qi] = []subTemplate{newSubTemplate(q.Transfers, q.Background)}
+		case QuerySelectFastest:
+			subs := make([]subTemplate, len(q.Hypotheses))
+			for hi, h := range q.Hypotheses {
+				subs[hi] = newSubTemplate(h.Transfers, q.Background)
+			}
+			out[qi] = subs
+		}
+	}
+	return out
+}
+
+// planSub is one cacheable sub-simulation of a group's plan: where its
+// answer comes from (the cache, or a plan slot shared with identical
+// subs) and how to fold it back into its cell.
+type planSub struct {
+	tmpl     *subTemplate
+	key      string
+	cached   []Prediction // canonical order, when the cache answered
+	planSlot int          // index into the RunPlan batch, -1 when cached
+}
+
+// runGroup answers every request query against one derived epoch. All
+// misses across all queries run as a single sim.RunPlan batch on one
+// pooled engine; identical sub-simulations — across hypotheses, across
+// queries — collapse onto one plan slot.
+func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, templates [][]subTemplate) []EvalResult {
+	results := make([]EvalResult, len(queries))
+	subs := make([][]planSub, len(queries)) // per query, its sub-simulations (nil for workflow)
+	var plan []sim.PlanQuery
+	planIdx := make(map[string]int) // canonical key -> plan slot
+	prefix := cacheKeyPrefix(name, g.entry)
+
+	addSub := func(qi int, tmpl *subTemplate) {
+		bg := g.bg
+		if len(tmpl.extraBg) > 0 {
+			bg = canonicalBackground(append(append([][2]string(nil), g.bg...), tmpl.extraBg...))
+		}
+		sub := planSub{tmpl: tmpl, key: prefix + tmpl.tKey + backgroundKey(bg), planSlot: -1}
+		if canonical, ok := ev.Cache.Lookup(sub.key); ok {
+			sub.cached = canonical
+			g.hits++
+		} else if slot, ok := planIdx[sub.key]; ok {
+			sub.planSlot = slot // identical sub already planned this batch
+			g.hits++
+		} else {
+			sub.planSlot = len(plan)
+			planIdx[sub.key] = len(plan)
+			plan = append(plan, sim.PlanQuery{Transfers: tmpl.sims, Background: bg})
+		}
+		subs[qi] = append(subs[qi], sub)
+	}
+
+	for qi := range queries {
+		q := &queries[qi]
+		switch q.Kind {
+		case QueryPredictTransfers, QuerySelectFastest:
+			for ti := range templates[qi] {
+				addSub(qi, &templates[qi][ti])
+			}
+		case QueryPredictWorkflow:
+			// Workflows bypass the transfer cache but still share the
+			// group's engine-pool flavour and background picture (the
+			// scenario's flows plus any per-query ones).
+			bg := g.bg
+			if len(q.Background) > 0 {
+				bg = canonicalBackground(append(append([][2]string(nil), g.bg...), q.Background...))
+			}
+			f, err := workflow.PredictWithBackground(g.entry.snapshot(), g.entry.Config, q.Workflow, bg)
+			g.sims++
+			if err != nil {
+				results[qi].Error = err.Error()
+			} else {
+				results[qi].Forecast = f
+			}
+		}
+	}
+
+	planResults := sim.RunPlan(g.entry.snapshot(), g.entry.Config, plan)
+	g.sims += len(plan)
+
+	// Convert and memoize each successful plan slot once; shared slots
+	// and later requests reuse the same canonical slice.
+	planPreds := make([][]Prediction, len(plan))
+	for slot, key := range invertPlanIndex(planIdx, len(plan)) {
+		pr := &planResults[slot]
+		if pr.Err != nil {
+			continue
+		}
+		preds := make([]Prediction, len(pr.Results))
+		for i, r := range pr.Results {
+			preds[i] = Prediction{Src: r.Src, Dst: r.Dst, Size: r.Size, Duration: r.Duration}
+		}
+		planPreds[slot] = preds
+		ev.Cache.Store(key, preds)
+	}
+	canonicalOf := func(sub *planSub) ([]Prediction, error) {
+		if sub.cached != nil {
+			return sub.cached, nil
+		}
+		if err := planResults[sub.planSlot].Err; err != nil {
+			return nil, err
+		}
+		return planPreds[sub.planSlot], nil
+	}
+
+	for qi := range queries {
+		q := &queries[qi]
+		switch q.Kind {
+		case QueryPredictTransfers:
+			sub := &subs[qi][0]
+			canonical, err := canonicalOf(sub)
+			if err != nil {
+				results[qi].Error = err.Error()
+				continue
+			}
+			results[qi].Predictions = reorder(canonical, sub.tmpl.order)
+		case QuerySelectFastest:
+			hyps := make([]HypothesisResult, len(subs[qi]))
+			failed := false
+			for hi := range subs[qi] {
+				canonical, err := canonicalOf(&subs[qi][hi])
+				if err != nil {
+					results[qi].Error = fmt.Sprintf("hypothesis %d: %v", hi, err)
+					failed = true
+					break
+				}
+				preds := reorder(canonical, subs[qi][hi].tmpl.order)
+				makespan := 0.0
+				for _, p := range preds {
+					if p.Duration > makespan {
+						makespan = p.Duration
+					}
+				}
+				hyps[hi] = HypothesisResult{Index: hi, Makespan: makespan, Predictions: preds}
+			}
+			if failed {
+				continue
+			}
+			best := 0
+			for hi := 1; hi < len(hyps); hi++ {
+				if hyps[hi].Makespan < hyps[best].Makespan {
+					best = hi
+				}
+			}
+			results[qi].Best = &best
+			results[qi].Hypotheses = hyps
+		}
+	}
+	return results
+}
+
+// invertPlanIndex maps plan slots back to their canonical keys.
+func invertPlanIndex(planIdx map[string]int, n int) []string {
+	keys := make([]string, n)
+	for k, slot := range planIdx {
+		keys[slot] = k
+	}
+	return keys
+}

@@ -48,8 +48,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pilgrim/internal/bgtraffic"
+	"pilgrim/internal/metrology"
 	"pilgrim/internal/nws"
 	"pilgrim/internal/platform"
 	"pilgrim/internal/sim"
@@ -118,6 +121,16 @@ type regEntry struct {
 	// forecast cache (keyed by epoch id) memoizes their answers.
 	fsnap *platform.Snapshot
 	fbase uint64
+
+	// rejects counts observation batches refused for naming unknown
+	// links (surfaced by timeline_stats as rejected_updates).
+	rejects atomic.Uint64
+
+	// Registered background-traffic estimate (guarded by fmu): the
+	// coarse flows bgtraffic synthesized from metrology counters, with
+	// their provenance, that bg_estimate scenario mutations inject.
+	bgFlows  [][2]string
+	bgSource string
 }
 
 // Registry holds the named platforms a Pilgrim instance can predict on
@@ -325,6 +338,90 @@ func (r *Registry) ObserveLinkState(name string, t int64, source string, updates
 // pre-timeline API, kept for callers without observation timestamps.
 func (r *Registry) UpdateLinkState(name string, updates []platform.LinkUpdate) (*platform.Snapshot, error) {
 	return r.ObserveLinkState(name, time.Now().Unix(), "update_links", updates)
+}
+
+// RecordUpdateReject counts one refused observation batch (unknown link
+// names) against the platform, for timeline_stats accounting.
+func (r *Registry) RecordUpdateReject(name string) {
+	if re, ok := r.lookup(name); ok {
+		re.rejects.Add(1)
+	}
+}
+
+// UpdateRejects reports how many observation batches the platform has
+// refused for naming unknown links.
+func (r *Registry) UpdateRejects(name string) uint64 {
+	re, ok := r.lookup(name)
+	if !ok {
+		return 0
+	}
+	return re.rejects.Load()
+}
+
+// SetBackgroundEstimate registers a background-traffic estimate for the
+// named platform: the coarse persistent flows that bg_estimate scenario
+// mutations inject into what-if evaluations, with free provenance text
+// recording where they came from. Replaces any previous estimate; an
+// empty flow set clears it.
+func (r *Registry) SetBackgroundEstimate(name, source string, flows [][2]string) error {
+	re, ok := r.lookup(name)
+	if !ok {
+		return fmt.Errorf("pilgrim: unknown platform %q", name)
+	}
+	re.fmu.Lock()
+	defer re.fmu.Unlock()
+	if len(flows) == 0 {
+		re.bgFlows, re.bgSource = nil, ""
+		return nil
+	}
+	re.bgFlows = append([][2]string(nil), flows...)
+	re.bgSource = source
+	return nil
+}
+
+// BackgroundEstimate returns the platform's registered background-traffic
+// estimate and its provenance; ok is false when none is registered.
+func (r *Registry) BackgroundEstimate(name string) (flows [][2]string, source string, ok bool) {
+	re, found := r.lookup(name)
+	if !found {
+		return nil, "", false
+	}
+	re.fmu.Lock()
+	defer re.fmu.Unlock()
+	if len(re.bgFlows) == 0 {
+		return nil, "", false
+	}
+	return re.bgFlows, re.bgSource, true
+}
+
+// EstimateBackgroundFromMetrology wires bgtraffic.FromMetrology into the
+// registry as an observation source: interface byte counters collected
+// under tool over [begin, end) are reduced to per-node rates, matched
+// into coarse persistent flows (bgtraffic.Estimate), and registered —
+// provenance-tagged — as the platform's background estimate, so
+// background-traffic scenarios seed from real RRD series instead of
+// hand-written flows. Returns the number of synthesized flows.
+func (r *Registry) EstimateBackgroundFromMetrology(name string, metrics *metrology.Registry, tool string, begin, end int64, cfg bgtraffic.Config) (int, error) {
+	if _, ok := r.lookup(name); !ok {
+		return 0, fmt.Errorf("pilgrim: unknown platform %q", name)
+	}
+	obs, err := bgtraffic.FromMetrology(metrics, tool, begin, end)
+	if err != nil {
+		return 0, err
+	}
+	flows, err := bgtraffic.Estimate(obs, cfg)
+	if err != nil {
+		return 0, err
+	}
+	pairs := make([][2]string, len(flows))
+	for i, f := range flows {
+		pairs[i] = [2]string{f.Src, f.Dst}
+	}
+	source := fmt.Sprintf("bgtraffic:%s[%d,%d)", tool, begin, end)
+	if err := r.SetBackgroundEstimate(name, source, pairs); err != nil {
+		return 0, err
+	}
+	return len(pairs), nil
 }
 
 // TimelineStats reports the named platform's timeline accounting.

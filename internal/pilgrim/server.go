@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pilgrim/internal/bgtraffic"
 	"pilgrim/internal/metrology"
 	"pilgrim/internal/platform"
 	"pilgrim/internal/rrd"
@@ -28,7 +29,12 @@ type Server struct {
 	metrics   *metrology.Registry
 	cache     atomic.Pointer[ForecastCache]
 	pool      atomic.Pointer[WorkerPool]
+	overlays  atomic.Pointer[OverlayCache]
 	mux       *http.ServeMux
+
+	// Evaluate limits (0 selects the package defaults).
+	maxScenarios atomic.Int64
+	maxCells     atomic.Int64
 }
 
 // NewServer builds a server over the given platform registry and metric
@@ -49,10 +55,14 @@ func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 	}
 	s.cache.Store(NewForecastCache(DefaultForecastCacheSize))
 	s.pool.Store(NewWorkerPool(DefaultForecastWorkers))
+	s.overlays.Store(NewOverlayCache(DefaultOverlayCacheSize))
 	s.mux.HandleFunc("GET /pilgrim/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /pilgrim/predict_transfers/{platform}", s.handlePredict)
 	s.mux.HandleFunc("GET /pilgrim/select_fastest/{platform}", s.handleSelectFastest)
 	s.mux.HandleFunc("POST /pilgrim/predict_workflow/{platform}", s.handleWorkflow)
+	s.mux.HandleFunc("POST /pilgrim/evaluate/{platform}", s.handleEvaluate)
+	s.mux.HandleFunc("GET /pilgrim/bg_estimate/{platform}", s.handleBgEstimateGet)
+	s.mux.HandleFunc("POST /pilgrim/bg_estimate/{platform}", s.handleBgEstimatePost)
 	s.mux.HandleFunc("POST /pilgrim/update_links/{platform}", s.handleUpdateLinks)
 	s.mux.HandleFunc("GET /pilgrim/timeline_stats/{platform}", s.handleTimelineStats)
 	s.mux.HandleFunc("GET /pilgrim/cache_stats", s.handleCacheStats)
@@ -76,6 +86,34 @@ func (s *Server) SetForecastCache(capacity int) {
 // with.
 func (s *Server) SetForecastWorkers(n int) {
 	s.pool.Store(NewWorkerPool(n))
+}
+
+// SetEvaluateLimits bounds evaluate requests: at most maxScenarios
+// scenarios and maxCells scenario×query cells per request (either <= 0
+// restores the package default).
+func (s *Server) SetEvaluateLimits(maxScenarios, maxCells int) {
+	s.maxScenarios.Store(int64(maxScenarios))
+	s.maxCells.Store(int64(maxCells))
+}
+
+// SetOverlayCache replaces the server's scenario-overlay cache with one
+// of the given capacity (capacity <= 0 disables cross-request epoch
+// reuse).
+func (s *Server) SetOverlayCache(capacity int) {
+	s.overlays.Store(NewOverlayCache(capacity))
+}
+
+// evaluator assembles the evaluate machinery from the server's live
+// configuration.
+func (s *Server) evaluator() *Evaluator {
+	return &Evaluator{
+		Platforms:    s.platforms,
+		Cache:        s.cache.Load(),
+		Pool:         s.pool.Load(),
+		Overlays:     s.overlays.Load(),
+		MaxScenarios: int(s.maxScenarios.Load()),
+		MaxCells:     int(s.maxCells.Load()),
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -168,15 +206,118 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, preds)
 }
 
-// handleCacheStats reports the forecast cache's hit/miss counters and the
-// hypothesis worker pool's telemetry:
+// handleCacheStats reports the forecast cache's hit/miss counters, the
+// worker pool's telemetry (hypothesis and evaluate fan-out), and the
+// scenario-overlay cache counters:
 //
 //	GET /pilgrim/cache_stats
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		CacheStats
-		Forecast WorkerStats `json:"forecast_workers"`
-	}{s.cache.Load().Stats(), s.pool.Load().Stats()})
+		Forecast WorkerStats  `json:"forecast_workers"`
+		Overlays OverlayStats `json:"scenario_overlays"`
+	}{s.cache.Load().Stats(), s.pool.Load().Stats(), s.overlays.Load().Stats()})
+}
+
+// handleEvaluate implements batched what-if evaluation: POST N scenarios
+// (composable epoch mutations) × M queries, receive the full answer grid
+// in one round trip.
+//
+//	POST /pilgrim/evaluate/g5k_test
+//	{"scenarios": [{"name": "deg", "mutations": [
+//	    {"op": "scale_link", "link": "L", "bandwidth_factor": 0.6}]}],
+//	 "queries": [{"kind": "predict_transfers",
+//	    "transfers": [{"src": "A", "dst": "B", "size": 5e8}]}]}
+//
+// Scenarios sharing a network picture share one derived epoch, and
+// identical (epoch, config, query) sub-simulations run once (forecast
+// cache + in-request dedup). Per-scenario and per-cell failures are
+// reported inside the grid; request-shape problems answer 400.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("platform")
+	if _, ok := s.platforms.Get(name); !ok {
+		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
+		return
+	}
+	var req EvaluateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decoding evaluate request: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.evaluator().Evaluate(name, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// BgEstimateResponse reports a platform's registered background-traffic
+// estimate.
+type BgEstimateResponse struct {
+	Platform string      `json:"platform"`
+	Source   string      `json:"source,omitempty"`
+	Flows    [][2]string `json:"flows"`
+}
+
+// handleBgEstimateGet returns the flows bg_estimate scenario mutations
+// would inject:
+//
+//	GET /pilgrim/bg_estimate/g5k_test
+func (s *Server) handleBgEstimateGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("platform")
+	if _, ok := s.platforms.Get(name); !ok {
+		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
+		return
+	}
+	flows, source, _ := s.platforms.BackgroundEstimate(name)
+	if flows == nil {
+		flows = [][2]string{}
+	}
+	writeJSON(w, BgEstimateResponse{Platform: name, Source: source, Flows: flows})
+}
+
+// handleBgEstimatePost (re)computes a platform's background-traffic
+// estimate from the metrology service's interface counters — the
+// bgtraffic.FromMetrology wiring — and registers it, provenance-tagged,
+// for bg_estimate scenarios:
+//
+//	POST /pilgrim/bg_estimate/g5k_test?tool=ganglia&begin=B&end=E
+func (s *Server) handleBgEstimatePost(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("platform")
+	if _, ok := s.platforms.Get(name); !ok {
+		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	tool := q.Get("tool")
+	if tool == "" {
+		http.Error(w, "tool parameter required", http.StatusBadRequest)
+		return
+	}
+	begin, err := parseTimestamp(q.Get("begin"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("begin: %v", err), http.StatusBadRequest)
+		return
+	}
+	end, err := parseTimestamp(q.Get("end"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("end: %v", err), http.StatusBadRequest)
+		return
+	}
+	if end <= begin {
+		http.Error(w, "end must be after begin", http.StatusBadRequest)
+		return
+	}
+	if _, err := s.platforms.EstimateBackgroundFromMetrology(name, s.metrics, tool, begin, end, bgtraffic.DefaultConfig()); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	flows, source, _ := s.platforms.BackgroundEstimate(name)
+	if flows == nil {
+		flows = [][2]string{}
+	}
+	writeJSON(w, BgEstimateResponse{Platform: name, Source: source, Flows: flows})
 }
 
 // handleSelectFastest implements the hypothesis-selection extension:
@@ -229,7 +370,7 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("decoding workflow: %v", err), http.StatusBadRequest)
 		return
 	}
-	forecast, err := workflow.Predict(entry.Platform, entry.Config, &wf)
+	forecast, err := workflow.Predict(entry.snapshot(), entry.Config, &wf)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -266,11 +407,23 @@ type UpdateLinksResponse struct {
 }
 
 // TimelineStatsResponse is the timeline_stats answer: the platform's
-// retained observation history plus the server's horizon cap.
+// retained observation history plus the server's horizon cap and the
+// count of observation batches rejected for naming unknown links.
 type TimelineStatsResponse struct {
 	Platform          string `json:"platform"`
 	HorizonMaxSeconds int64  `json:"horizon_max_seconds"`
+	RejectedUpdates   uint64 `json:"rejected_updates"`
 	platform.TimelineStats
+}
+
+// UpdateLinksError is the structured 400 body update_links answers when a
+// batch names links the platform does not have: the offending names are
+// listed explicitly (instead of a silent drop or an opaque first-error
+// string) and the rejection is counted in timeline_stats.
+type UpdateLinksError struct {
+	Platform     string   `json:"platform"`
+	Error        string   `json:"error"`
+	UnknownLinks []string `json:"unknown_links"`
 }
 
 // handleUpdateLinks closes the paper's measure→update→forecast loop: a
@@ -292,7 +445,8 @@ type TimelineStatsResponse struct {
 // reports the published epoch.
 func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("platform")
-	if _, ok := s.platforms.Get(name); !ok {
+	entry, ok := s.platforms.Get(name)
+	if !ok {
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
 		return
 	}
@@ -364,7 +518,27 @@ func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
 		}
 		updates[i] = upd
 	}
-	snap, err := s.platforms.ObserveLinkState(name, when, source, updates)
+	// Unknown links reject the whole batch with a structured answer
+	// naming every offender (both body forms; historically the legacy
+	// array body surfaced only an opaque first-mismatch error), and the
+	// rejection is counted in timeline_stats.
+	snap := entry.snapshot()
+	var unknown []string
+	for _, u := range updates {
+		if _, ok := snap.LinkIndex(u.Link); !ok {
+			unknown = append(unknown, u.Link)
+		}
+	}
+	if len(unknown) > 0 {
+		s.platforms.RecordUpdateReject(name)
+		writeJSONStatus(w, http.StatusBadRequest, UpdateLinksError{
+			Platform:     name,
+			Error:        fmt.Sprintf("%d of %d updates name unknown links", len(unknown), len(updates)),
+			UnknownLinks: unknown,
+		})
+		return
+	}
+	snap, err = s.platforms.ObserveLinkState(name, when, source, updates)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -393,6 +567,7 @@ func (s *Server) handleTimelineStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, TimelineStatsResponse{
 		Platform:          name,
 		HorizonMaxSeconds: int64(s.platforms.ForecastHorizon() / time.Second),
+		RejectedUpdates:   s.platforms.UpdateRejects(name),
 		TimelineStats:     st,
 	})
 }
@@ -462,6 +637,14 @@ func parseTimestamp(s string) (int64, error) {
 		return 0, fmt.Errorf("timestamp %q is neither Unix seconds nor YYYY-MM-DD HH:MM:SS", s)
 	}
 	return t.UTC().Unix(), nil
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"strings"
 	"testing"
 
 	"pilgrim/internal/g5k"
@@ -231,5 +232,59 @@ func TestHTTPUpdateLinks(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("unknown platform: status %d", resp.StatusCode)
 		}
+	}
+}
+
+// TestUpdateLinksStructuredReject pins the structured 400: a batch naming
+// unknown links — legacy array body included — answers a JSON document
+// listing every offender, and the rejection shows up in timeline_stats as
+// rejected_updates.
+func TestUpdateLinksStructuredReject(t *testing.T) {
+	srv, client := newTestServer(t)
+
+	post := func(body string) (int, UpdateLinksError) {
+		resp, err := http.Post(srv.URL+"/pilgrim/update_links/g5k_test", "application/json",
+			bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out UpdateLinksError
+		_ = jsonDecode(resp, &out)
+		return resp.StatusCode, out
+	}
+
+	// Legacy array body with two unknown links among a known one.
+	code, out := post(`[
+		{"link": "ghost-1", "bandwidth": 1e6},
+		{"link": "sagittaire-1.lyon.grid5000.fr_nic", "bandwidth": 1e6},
+		{"link": "ghost-2", "latency": 0.001}]`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	if out.Platform != "g5k_test" || len(out.UnknownLinks) != 2 ||
+		out.UnknownLinks[0] != "ghost-1" || out.UnknownLinks[1] != "ghost-2" {
+		t.Fatalf("structured error = %+v", out)
+	}
+	if !strings.Contains(out.Error, "2 of 3") {
+		t.Errorf("error text = %q", out.Error)
+	}
+
+	// Timestamped body form rejects identically.
+	if code, out = post(`{"source": "iperf", "updates": [{"link": "ghost", "bandwidth": 5}]}`); code != http.StatusBadRequest || len(out.UnknownLinks) != 1 {
+		t.Fatalf("timestamped reject: %d %+v", code, out)
+	}
+
+	// The rejected batch must not have touched the timeline, and the
+	// reject count is surfaced.
+	st, err := client.TimelineStats("g5k_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth != 0 {
+		t.Errorf("rejected batches reached the timeline: depth %d", st.Depth)
+	}
+	if st.RejectedUpdates != 2 {
+		t.Errorf("rejected_updates = %d, want 2", st.RejectedUpdates)
 	}
 }

@@ -27,6 +27,14 @@ type WorkerPool struct {
 	queued    atomic.Int64
 	evaluated atomic.Uint64
 	batches   atomic.Uint64
+
+	// Scenario-evaluation telemetry: evaluate calls fanned over the pool,
+	// scenario×query cells requested, distinct cell groups actually run
+	// (after overlay/cell dedup), and sub-simulations executed.
+	evalCalls atomic.Uint64
+	evalCells atomic.Uint64
+	evalRuns  atomic.Uint64
+	evalSims  atomic.Uint64
 }
 
 // NewWorkerPool returns a pool running up to workers hypothesis
@@ -77,18 +85,52 @@ type WorkerStats struct {
 	// pool; Batches counts the select_fastest calls that spawned them.
 	Hypotheses uint64 `json:"hypotheses_evaluated"`
 	Batches    uint64 `json:"select_fastest_calls"`
+	// EvaluateCalls counts evaluate batches fanned over the pool;
+	// EvaluateCells the scenario×query cells they requested;
+	// EvaluateGroupRuns the distinct per-snapshot groups actually run
+	// after dedup; EvaluateSims the sub-simulations those groups executed
+	// (cache hits and deduplicated cells pay none).
+	EvaluateCalls     uint64 `json:"evaluate_calls"`
+	EvaluateCells     uint64 `json:"evaluate_cells"`
+	EvaluateGroupRuns uint64 `json:"evaluate_group_runs"`
+	EvaluateSims      uint64 `json:"evaluate_simulations"`
 }
 
 // Stats returns a snapshot of the pool counters.
 func (p *WorkerPool) Stats() WorkerStats {
 	return WorkerStats{
-		Workers:    p.Workers(),
-		Busy:       p.busy.Load(),
-		Queued:     p.queued.Load(),
-		MaxBusy:    p.maxBusy.Load(),
-		Hypotheses: p.evaluated.Load(),
-		Batches:    p.batches.Load(),
+		Workers:           p.Workers(),
+		Busy:              p.busy.Load(),
+		Queued:            p.queued.Load(),
+		MaxBusy:           p.maxBusy.Load(),
+		Hypotheses:        p.evaluated.Load(),
+		Batches:           p.batches.Load(),
+		EvaluateCalls:     p.evalCalls.Load(),
+		EvaluateCells:     p.evalCells.Load(),
+		EvaluateGroupRuns: p.evalRuns.Load(),
+		EvaluateSims:      p.evalSims.Load(),
 	}
+}
+
+// Run executes fn(0..n-1) concurrently over the pool and blocks until all
+// calls return. Each invocation occupies one pool slot, so Run composes
+// with concurrent select_fastest and evaluate traffic under the same
+// width bound.
+func (p *WorkerPool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 // selectFastest ranks hypotheses under any prediction backend, evaluating
@@ -103,29 +145,21 @@ func (p *WorkerPool) selectFastest(hyps []Hypothesis, predict func([]TransferReq
 	p.batches.Add(1)
 	results = make([]HypothesisResult, len(hyps))
 	errs := make([]error, len(hyps))
-	var wg sync.WaitGroup
-	for i := range hyps {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			p.acquire()
-			defer p.release()
-			preds, err := predict(hyps[i].Transfers)
-			if err != nil {
-				errs[i] = err
-				return
+	p.Run(len(hyps), func(i int) {
+		preds, err := predict(hyps[i].Transfers)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		p.evaluated.Add(1)
+		makespan := 0.0
+		for _, pr := range preds {
+			if pr.Duration > makespan {
+				makespan = pr.Duration
 			}
-			p.evaluated.Add(1)
-			makespan := 0.0
-			for _, pr := range preds {
-				if pr.Duration > makespan {
-					makespan = pr.Duration
-				}
-			}
-			results[i] = HypothesisResult{Index: i, Makespan: makespan, Predictions: preds}
-		}(i)
-	}
-	wg.Wait()
+		}
+		results[i] = HypothesisResult{Index: i, Makespan: makespan, Predictions: preds}
+	})
 	for i, e := range errs {
 		if e != nil {
 			return 0, nil, fmt.Errorf("pilgrim: hypothesis %d: %w", i, e)

@@ -405,8 +405,14 @@ func (as *AS) AddAS(id string, routing RoutingKind) (*AS, error) {
 	return child, nil
 }
 
-// AddHost creates a host in this AS. Host names are platform-unique.
+// AddHost creates a host in this AS. Host names are platform-unique and
+// speeds must be positive: a speed of exactly 0 is the reserved
+// host-failure sentinel of scenario overlays (Snapshot.HostDown) and may
+// never enter through the builder.
 func (as *AS) AddHost(id string, speed float64) (*Host, error) {
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return nil, fmt.Errorf("platform: host %q has invalid speed %v", id, speed)
+	}
 	if err := as.checkFresh(id); err != nil {
 		return nil, err
 	}

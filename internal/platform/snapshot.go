@@ -91,14 +91,20 @@ type Snapshot struct {
 	topo  *topology
 	epoch uint64
 
-	// Current link state, paged copy-on-write across epochs.
-	bw  []*statePage
-	lat []*statePage
+	// Current link and host state, paged copy-on-write across epochs.
+	bw    []*statePage
+	lat   []*statePage
+	speed []*statePage
 
 	// latDirty records that some epoch in this snapshot's history revised
 	// a latency; when false, route latencies are served straight from the
 	// compiled base sums.
 	latDirty bool
+
+	// provenance describes how this epoch was derived (a scenario
+	// overlay's mutation list); empty for base and observation epochs,
+	// whose provenance lives in the Timeline.
+	provenance string
 }
 
 // topology is the immutable compiled structure shared by all epochs of a
@@ -358,6 +364,7 @@ func (p *Platform) Compile() *Snapshot {
 		epoch: snapshotEpochs.Add(1),
 		bw:    buildPages(t.linkBW0),
 		lat:   buildPages(t.linkLat0),
+		speed: buildPages(t.hostSpeed),
 	}
 	return s
 }
@@ -393,6 +400,12 @@ func (p *Platform) Snapshot() *Snapshot {
 // network picture.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
+// Provenance describes how this epoch was derived: the canonical mutation
+// list of the scenario overlay that produced it, or "" for base and
+// observation epochs (observation provenance is recorded per Timeline
+// entry instead).
+func (s *Snapshot) Provenance() string { return s.provenance }
+
 // Platform returns the builder platform this snapshot was compiled from.
 func (s *Snapshot) Platform() *Platform { return s.topo.src }
 
@@ -414,8 +427,20 @@ func (s *Snapshot) HostIndex(name string) (int32, bool) {
 // HostName returns the name of host i.
 func (s *Snapshot) HostName(i int32) string { return s.topo.hostNames[i] }
 
-// HostSpeed returns the speed (flops) of host i.
-func (s *Snapshot) HostSpeed(i int32) float64 { return s.topo.hostSpeed[i] }
+// HostSpeed returns the speed (flops) of host i at this epoch. A speed of
+// exactly 0 marks the host as failed (see OverlayHost); base epochs carry
+// the builder-declared speeds.
+func (s *Snapshot) HostSpeed(i int32) float64 {
+	return s.speed[i>>statePageShift][i&statePageMask]
+}
+
+// HostDown reports whether host i is failed at this epoch (overlay speed
+// of exactly 0).
+func (s *Snapshot) HostDown(i int32) bool { return s.HostSpeed(i) == 0 }
+
+// LinkDown reports whether link i is failed at this epoch (overlay
+// bandwidth of exactly 0; observation epochs can never produce one).
+func (s *Snapshot) LinkDown(i int32) bool { return s.LinkBandwidth(i) == 0 }
 
 // LinkIndex returns the dense index of the named link.
 func (s *Snapshot) LinkIndex(name string) (int32, bool) {
@@ -450,14 +475,15 @@ type LinkUpdateIdx struct {
 	Latency   float64
 }
 
-// newEpochFrom starts a derived epoch sharing all link-state pages with
-// the receiver.
+// newEpochFrom starts a derived epoch sharing all state pages with the
+// receiver.
 func (s *Snapshot) newEpochFrom() *Snapshot {
 	return &Snapshot{
 		topo:     s.topo,
 		epoch:    snapshotEpochs.Add(1),
 		bw:       append([]*statePage(nil), s.bw...),
 		lat:      append([]*statePage(nil), s.lat...),
+		speed:    append([]*statePage(nil), s.speed...),
 		latDirty: s.latDirty,
 	}
 }
@@ -516,6 +542,79 @@ func (s *Snapshot) WithLinkStateIdx(updates []LinkUpdateIdx) (*Snapshot, error) 
 			return nil, fmt.Errorf("platform: link index %d out of range in link-state update", u.Link)
 		}
 		ns.applyLinkUpdate(s, u.Link, u.Bandwidth, u.Latency)
+	}
+	return ns, nil
+}
+
+// OverlayLink is one link revision of a scenario overlay, addressed by
+// dense link index. Unlike LinkUpdate (whose keep-current sentinels
+// mirror what a measurement can report), an overlay states hypothetical
+// values explicitly: NaN keeps the current value, any other value — zero
+// included, marking the link failed — is set verbatim. Negative and
+// infinite values are rejected.
+type OverlayLink struct {
+	Link      int32
+	Bandwidth float64 // bytes/s; NaN keeps, 0 fails the link
+	Latency   float64 // seconds; NaN keeps
+}
+
+// OverlayHost is one host revision of a scenario overlay: NaN keeps the
+// current speed, 0 fails the host, any other positive value is set
+// verbatim.
+type OverlayHost struct {
+	Host  int32
+	Speed float64 // flops; NaN keeps, 0 fails the host
+}
+
+// ApplyOverlay derives one new epoch with a whole scenario's mutations
+// applied in a single batch: every touched bandwidth/latency/host-speed
+// page is copied exactly once (copy-on-write against the receiver), the
+// derivation allocates one epoch id regardless of how many mutations the
+// scenario composed, and the provenance text — the scenario's canonical
+// mutation list — is recorded on the epoch for later inspection. The
+// receiver is unaffected. Link revisions with values a measurement could
+// report produce bit-identical state to chaining the equivalent
+// WithLinkStateIdx calls by hand; what ApplyOverlay adds is explicit
+// failure (zero bandwidth / zero speed), host mutations, and the
+// one-epoch batch semantics scenarios need.
+func (s *Snapshot) ApplyOverlay(links []OverlayLink, hosts []OverlayHost, provenance string) (*Snapshot, error) {
+	ns := s.newEpochFrom()
+	ns.provenance = provenance
+	nl := int32(len(s.topo.linkNames))
+	for _, u := range links {
+		if u.Link < 0 || u.Link >= nl {
+			return nil, fmt.Errorf("platform: link index %d out of range in overlay", u.Link)
+		}
+		if !math.IsNaN(u.Bandwidth) {
+			if u.Bandwidth < 0 || math.IsInf(u.Bandwidth, 0) {
+				return nil, fmt.Errorf("platform: invalid overlay bandwidth %v for link %q",
+					u.Bandwidth, s.topo.linkNames[u.Link])
+			}
+			cowSet(ns.bw, s.bw, u.Link, u.Bandwidth)
+		}
+		if !math.IsNaN(u.Latency) {
+			if u.Latency < 0 || math.IsInf(u.Latency, 0) {
+				return nil, fmt.Errorf("platform: invalid overlay latency %v for link %q",
+					u.Latency, s.topo.linkNames[u.Link])
+			}
+			if u.Latency != ns.LinkLatency(u.Link) {
+				ns.latDirty = true
+			}
+			cowSet(ns.lat, s.lat, u.Link, u.Latency)
+		}
+	}
+	nh := int32(len(s.topo.hostNames))
+	for _, u := range hosts {
+		if u.Host < 0 || u.Host >= nh {
+			return nil, fmt.Errorf("platform: host index %d out of range in overlay", u.Host)
+		}
+		if !math.IsNaN(u.Speed) {
+			if u.Speed < 0 || math.IsInf(u.Speed, 0) {
+				return nil, fmt.Errorf("platform: invalid overlay speed %v for host %q",
+					u.Speed, s.topo.hostNames[u.Host])
+			}
+			cowSet(ns.speed, s.speed, u.Host, u.Speed)
+		}
 	}
 	return ns, nil
 }

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pilgrim/internal/platform"
+)
+
+// batchPlatform: three hosts behind shared NIC links on a common router.
+func batchPlatform(t testing.TB) *platform.Platform {
+	t.Helper()
+	p := platform.New("batch", platform.RoutingFull)
+	as := p.Root()
+	if _, err := as.AddRouter("gw"); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"a", "b", "c"} {
+		if _, err := as.AddHost(h, 1e9); err != nil {
+			t.Fatal(err)
+		}
+		l, err := as.AddLink(h+"_nic", 1e8, 1e-4, platform.Shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.AddRoute(h, "gw", []platform.LinkUse{{Link: l, Direction: platform.Up}}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}} {
+		links := []platform.LinkUse{
+			{Link: p.Link(pair[0] + "_nic"), Direction: platform.Up},
+			{Link: p.Link(pair[1] + "_nic"), Direction: platform.Down},
+		}
+		if err := as.AddRoute(pair[0], pair[1], links, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestRunPlanMatchesIndividualSimulations pins the plan runner's
+// determinism: a plan's results must be bit-identical to running each
+// query through its own Simulation.
+func TestRunPlanMatchesIndividualSimulations(t *testing.T) {
+	p := batchPlatform(t)
+	snap := p.Snapshot()
+	cfg := DefaultConfig()
+	queries := []PlanQuery{
+		{Transfers: []Transfer{{Src: "a", Dst: "b", Size: 5e8}}},
+		{Transfers: []Transfer{
+			{Src: "a", Dst: "b", Size: 5e8},
+			{Src: "a", Dst: "c", Size: 2e8},
+		}},
+		{Transfers: []Transfer{{Src: "b", Dst: "c", Size: 1e8}},
+			Background: [][2]string{{"a", "c"}}},
+	}
+	plan := RunPlan(snap, cfg, queries)
+	for qi, q := range queries {
+		s := NewSnapshotSimulation(snap, cfg)
+		for _, bg := range q.Background {
+			s.AddBackgroundFlow(bg[0], bg[1])
+		}
+		for _, tr := range q.Transfers {
+			s.AddTransferAt(tr.Src, tr.Dst, tr.Size, tr.Start)
+		}
+		want, err := s.Run()
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if plan[qi].Err != nil {
+			t.Fatalf("query %d: plan error %v", qi, plan[qi].Err)
+		}
+		if len(plan[qi].Results) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(plan[qi].Results), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(plan[qi].Results[i].Duration) != math.Float64bits(want[i].Duration) {
+				t.Errorf("query %d transfer %d: plan %v != solo %v",
+					qi, i, plan[qi].Results[i].Duration, want[i].Duration)
+			}
+		}
+	}
+}
+
+// TestRunPlanIsolatesFailures: a query over a failed link reports its own
+// error; the queries before and after it still answer.
+func TestRunPlanIsolatesFailures(t *testing.T) {
+	p := batchPlatform(t)
+	base := p.Snapshot()
+	li, ok := base.LinkIndex("b_nic")
+	if !ok {
+		t.Fatal("missing link")
+	}
+	snap, err := base.ApplyOverlay([]platform.OverlayLink{{Link: li, Bandwidth: 0, Latency: math.NaN()}}, nil, "fail b_nic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := RunPlan(snap, DefaultConfig(), []PlanQuery{
+		{Transfers: []Transfer{{Src: "a", Dst: "c", Size: 1e8}}},
+		{Transfers: []Transfer{{Src: "a", Dst: "b", Size: 1e8}}}, // crosses the failed link
+		{Transfers: []Transfer{{Src: "a", Dst: "c", Size: 1e8}}},
+	})
+	if plan[0].Err != nil || plan[2].Err != nil {
+		t.Fatalf("healthy queries failed: %v / %v", plan[0].Err, plan[2].Err)
+	}
+	if plan[1].Err == nil || !strings.Contains(plan[1].Err.Error(), "is down") {
+		t.Fatalf("failed-link query error = %v", plan[1].Err)
+	}
+	if math.Float64bits(plan[0].Results[0].Duration) != math.Float64bits(plan[2].Results[0].Duration) {
+		t.Error("identical queries around a failure diverged")
+	}
+}
+
+// TestDownResourcesRejectActivities: failed hosts reject comms and execs
+// with precise errors.
+func TestDownResourcesRejectActivities(t *testing.T) {
+	p := batchPlatform(t)
+	base := p.Snapshot()
+	hi, ok := base.HostIndex("c")
+	if !ok {
+		t.Fatal("missing host")
+	}
+	snap, err := base.ApplyOverlay(nil, []platform.OverlayHost{{Host: hi, Speed: 0}}, "fail host c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngineSnapshot(snap, DefaultConfig())
+	if _, err := e.AddExec("c", 1e9, 0, nil); err == nil || !strings.Contains(err.Error(), "down") {
+		t.Errorf("exec on failed host: err = %v", err)
+	}
+	if _, err := e.AddComm("a", "c", 1e8, 0, nil); err == nil || !strings.Contains(err.Error(), "down") {
+		t.Errorf("comm to failed host: err = %v", err)
+	}
+	if _, err := e.AddComm("c", "a", 1e8, 0, nil); err == nil || !strings.Contains(err.Error(), "down") {
+		t.Errorf("comm from failed host: err = %v", err)
+	}
+	// Healthy pairs still work on the same epoch.
+	if _, err := e.AddComm("a", "b", 1e8, 0, nil); err != nil {
+		t.Errorf("healthy comm rejected: %v", err)
+	}
+}

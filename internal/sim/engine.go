@@ -424,6 +424,21 @@ func (e *Engine) AddComm(src, dst string, size, start float64, onDone func(now f
 	if err != nil {
 		return 0, err
 	}
+	// Failed resources (scenario overlays set their bandwidth/speed to an
+	// exact 0) reject the communication up front with a precise error
+	// instead of stalling the whole simulation at run time.
+	if hi, ok := e.snap.HostIndex(src); ok && e.snap.HostDown(hi) {
+		return 0, fmt.Errorf("sim: host %q is down", src)
+	}
+	if hi, ok := e.snap.HostIndex(dst); ok && e.snap.HostDown(hi) {
+		return 0, fmt.Errorf("sim: host %q is down", dst)
+	}
+	for _, ref := range route.Refs {
+		if li := ref.LinkIndex(); e.snap.LinkDown(li) {
+			return 0, fmt.Errorf("sim: link %q on route %s->%s is down",
+				e.snap.LinkName(li), src, dst)
+		}
+	}
 	lat := e.snap.RouteLatency(route)
 	return e.add(activity{
 		kind:      commActivity,
@@ -478,6 +493,9 @@ func (e *Engine) AddExec(host string, flops, start float64, onDone func(now floa
 	hi, ok := e.snap.HostIndex(host)
 	if !ok {
 		return 0, fmt.Errorf("sim: unknown host %q", host)
+	}
+	if e.snap.HostDown(hi) {
+		return 0, fmt.Errorf("sim: host %q is down", host)
 	}
 	return e.add(activity{
 		kind:      execActivity,

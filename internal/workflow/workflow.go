@@ -169,14 +169,34 @@ type Forecast struct {
 	Tasks    []TaskSchedule `json:"tasks"`
 }
 
-// Predict simulates the workflow on the platform and returns the
-// schedule. Independent tasks run concurrently and contend for hosts and
-// links exactly as the fluid model dictates.
-func Predict(plat *platform.Platform, cfg sim.Config, w *Workflow) (*Forecast, error) {
+// Predict simulates the workflow on one compiled platform epoch and
+// returns the schedule. Independent tasks run concurrently and contend
+// for hosts and links exactly as the fluid model dictates. Taking a
+// Snapshot (rather than the builder *platform.Platform of earlier
+// versions) lets workflows participate in everything epochs can express:
+// at=T timeline/forecast queries, and scenario overlays with degraded or
+// failed resources — a task on a failed host, or a transfer routed over a
+// failed link, fails the forecast with a precise error.
+func Predict(snap *platform.Snapshot, cfg sim.Config, w *Workflow) (*Forecast, error) {
+	return PredictWithBackground(snap, cfg, w, nil)
+}
+
+// PredictWithBackground is Predict with persistent background flows
+// (scenario-injected cross-traffic) contending with the workflow's
+// transfers from simulated time 0.
+func PredictWithBackground(snap *platform.Snapshot, cfg sim.Config, w *Workflow, background [][2]string) (*Forecast, error) {
 	if _, err := w.Validate(); err != nil {
 		return nil, err
 	}
-	engine := sim.NewEngine(plat, cfg)
+	// The engine comes from (and returns to) the process-wide pool; a
+	// recycled engine is bit-identical to a fresh one.
+	engine := sim.AcquireEngineSnapshot(snap, cfg)
+	defer sim.ReleaseEngine(engine)
+	for _, bg := range background {
+		if _, err := engine.AddBackgroundFlow(bg[0], bg[1], 0); err != nil {
+			return nil, fmt.Errorf("workflow: background flow %s->%s: %w", bg[0], bg[1], err)
+		}
+	}
 
 	n := len(w.Tasks)
 	byID := make(map[string]int, n)

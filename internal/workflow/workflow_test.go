@@ -97,7 +97,7 @@ func TestPredictChain(t *testing.T) {
 		{ID: "move", Kind: TransferData, Src: "a", Dst: "b", Bytes: 500e6, DependsOn: []string{"stage-in"}},
 		{ID: "crunch", Kind: Compute, Host: "b", Flops: 4e9, DependsOn: []string{"move"}},
 	}}
-	f, err := Predict(p, cfg, w)
+	f, err := Predict(p.Snapshot(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestPredictParallelTransfersContend(t *testing.T) {
 		{ID: "t1", Kind: TransferData, Src: "a", Dst: "b", Bytes: 250e6},
 		{ID: "t2", Kind: TransferData, Src: "a", Dst: "b", Bytes: 250e6},
 	}}
-	f, err := Predict(p, cfg, w)
+	f, err := Predict(p.Snapshot(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestPredictDiamond(t *testing.T) {
 		{ID: "right", Kind: Compute, Host: "b", Flops: 3e9, DependsOn: []string{"src"}},
 		{ID: "join", Kind: Compute, Host: "b", Flops: 2e9, DependsOn: []string{"left", "right"}},
 	}}
-	f, err := Predict(p, cfg, w)
+	f, err := Predict(p.Snapshot(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestPredictUnknownHostFails(t *testing.T) {
 	w := &Workflow{Name: "bad", Tasks: []Task{
 		{ID: "t", Kind: Compute, Host: "ghost", Flops: 1e9},
 	}}
-	if _, err := Predict(p, cfg, w); err == nil {
+	if _, err := Predict(p.Snapshot(), cfg, w); err == nil {
 		t.Fatal("unknown host accepted")
 	}
 	// Unknown host in a dependent task (started from a callback).
@@ -168,8 +168,77 @@ func TestPredictUnknownHostFails(t *testing.T) {
 		{ID: "ok", Kind: Compute, Host: "a", Flops: 1e9},
 		{ID: "t", Kind: TransferData, Src: "a", Dst: "ghost", Bytes: 1, DependsOn: []string{"ok"}},
 	}}
-	if _, err := Predict(p, cfg, w2); err == nil {
+	if _, err := Predict(p.Snapshot(), cfg, w2); err == nil {
 		t.Fatal("unknown dependent host accepted")
+	}
+}
+
+// TestPredictOnOverlayEpoch: workflows answer against whatever epoch they
+// are handed — a degraded link slows the transfer, a failed host rejects
+// the compute task with a precise error.
+func TestPredictOnOverlayEpoch(t *testing.T) {
+	p, cfg := testPlatform(t)
+	base := p.Snapshot()
+	w := &Workflow{Name: "chain", Tasks: []Task{
+		{ID: "move", Kind: TransferData, Src: "a", Dst: "b", Bytes: 500e6},
+		{ID: "crunch", Kind: Compute, Host: "b", Flops: 4e9, DependsOn: []string{"move"}},
+	}}
+	li, ok := base.LinkIndex("l")
+	if !ok {
+		t.Fatal("missing link")
+	}
+	degraded, err := base.ApplyOverlay([]platform.OverlayLink{
+		{Link: li, Bandwidth: base.LinkBandwidth(li) / 2, Latency: math.NaN()},
+	}, nil, "half bandwidth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBase, err := Predict(base, cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSlow, err := Predict(degraded, cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// move: 5s -> 10s, crunch unchanged at 2s.
+	if math.Abs(fBase.Makespan-7) > 1e-6 || math.Abs(fSlow.Makespan-12) > 1e-6 {
+		t.Errorf("makespans = %v (base), %v (degraded); want 7, 12", fBase.Makespan, fSlow.Makespan)
+	}
+
+	hi, ok := base.HostIndex("b")
+	if !ok {
+		t.Fatal("missing host")
+	}
+	failed, err := base.ApplyOverlay(nil, []platform.OverlayHost{{Host: hi, Speed: 0}}, "fail b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Predict(failed, cfg, w); err == nil || !strings.Contains(err.Error(), "down") {
+		t.Errorf("workflow on failed host: err = %v", err)
+	}
+}
+
+// TestPredictWithBackground: injected cross-traffic halves the transfer's
+// share of the link.
+func TestPredictWithBackground(t *testing.T) {
+	p, cfg := testPlatform(t)
+	w := &Workflow{Name: "bg", Tasks: []Task{
+		{ID: "move", Kind: TransferData, Src: "a", Dst: "b", Bytes: 500e6},
+	}}
+	solo, err := Predict(p.Snapshot(), cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := PredictWithBackground(p.Snapshot(), cfg, w, [][2]string{{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(crowded.Makespan-2*solo.Makespan) > 1e-6 {
+		t.Errorf("crowded makespan = %v, want 2x solo %v", crowded.Makespan, solo.Makespan)
+	}
+	if _, err := PredictWithBackground(p.Snapshot(), cfg, w, [][2]string{{"a", "ghost"}}); err == nil {
+		t.Error("unknown background endpoint accepted")
 	}
 }
 
@@ -200,11 +269,11 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 
 	p, cfg := testPlatform(t)
-	f1, err := Predict(p, cfg, w)
+	f1, err := Predict(p.Snapshot(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := Predict(p, cfg, &w2)
+	f2, err := Predict(p.Snapshot(), cfg, &w2)
 	if err != nil {
 		t.Fatal(err)
 	}
