@@ -10,7 +10,7 @@ SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 # overlay/batched-evaluation claims.
 KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon|BenchmarkApplyOverlay|BenchmarkEvaluate30x8
 
-.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline clean
+.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline campaign-check clean
 
 all: vet build test
 
@@ -24,7 +24,17 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/pilgrim/... ./internal/sim/... ./internal/flow/...
+	go test -race ./internal/pilgrim/... ./internal/sim/... ./internal/flow/... ./internal/campaign/...
+
+# campaign-check is the CI drill gate: every example campaign must
+# validate (names resolve against the generated platform), the smoke
+# campaign must replay with all assertions green, and the golden-report
+# test catches any drift in the committed JSON/CSV reports
+# (docs/CAMPAIGNS.md; refresh with UPDATE_CAMPAIGN_GOLDEN=1).
+campaign-check:
+	go run ./cmd/pilgrimsim validate examples/campaigns/*.yaml
+	go run ./cmd/pilgrimsim run examples/campaigns/smoke.yaml
+	go test ./internal/campaign -run 'TestExampleCampaignsGolden|TestReplayConcurrentWithIngestAndHTTP'
 
 # bench runs the key benchmarks with -benchmem and writes BENCH_$(SHA).json
 # (ns/op + B/op + allocs/op per benchmark) next to the raw output.

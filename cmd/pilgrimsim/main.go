@@ -1,0 +1,225 @@
+// Command pilgrimsim replays declarative scenario campaigns: YAML files
+// that script a timed story against a simulated platform ("at t=5s the
+// NIC degrades, at t=30s the router fails, assert the workflow forecast
+// stays under 80s") and check it automatically. Campaigns turn failure
+// drills into one-command, diffable regression artifacts (docs/CAMPAIGNS.md).
+//
+// Usage:
+//
+//	pilgrimsim [flags] run      campaign.yaml...
+//	pilgrimsim [flags] validate campaign.yaml...
+//	pilgrimsim [flags] list     campaign.yaml...
+//
+// Flags:
+//
+//	-server URL   replay against a live pilgrimd instead of in-process
+//	-json PATH    write the JSON report ("-" = stdout); run mode only
+//	-csv PATH     write the CSV report ("-" = stdout); run mode only
+//	-quiet        suppress the per-assertion text report
+//
+// run replays events into the platform timeline, evaluates every step's
+// scenario×query grid, prints per-assertion pass/fail, and exits 1 if
+// any assertion failed (2 on load/replay errors). validate parses,
+// structurally checks, and — in-process — resolves every resource name
+// against the generated platform without running a simulation. list
+// prints a one-line summary per campaign. With -json/-csv and several
+// campaign files, each report lands next to PATH with the campaign
+// file's base name spliced in before the extension.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pilgrim/internal/campaign"
+	"pilgrim/internal/pilgrim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pilgrimsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "", "base URL of a live pilgrimd (default: replay in-process)")
+	jsonPath := fs.String("json", "", `write the JSON report to this path ("-" = stdout)`)
+	csvPath := fs.String("csv", "", `write the CSV report to this path ("-" = stdout)`)
+	quiet := fs.Bool("quiet", false, "suppress the per-assertion text report")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pilgrimsim [flags] <run|validate|list> campaign.yaml...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 2 {
+		fs.Usage()
+		return 2
+	}
+	mode, files := fs.Arg(0), fs.Args()[1:]
+
+	switch mode {
+	case "run", "validate", "list":
+	default:
+		fmt.Fprintf(stderr, "pilgrimsim: unknown mode %q (want run, validate, or list)\n", mode)
+		return 2
+	}
+
+	exit := 0
+	for _, file := range files {
+		code := runOne(mode, file, *server, *jsonPath, *csvPath, len(files) > 1, *quiet, stdout, stderr)
+		if code > exit {
+			exit = code
+		}
+	}
+	return exit
+}
+
+// runOne handles a single campaign file; returns its exit code.
+func runOne(mode, file, server, jsonPath, csvPath string, many, quiet bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(stderr, "pilgrimsim: %v\n", err)
+		return 2
+	}
+	c, err := campaign.Load(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "pilgrimsim: %s: %v\n", file, err)
+		return 2
+	}
+
+	if mode == "list" {
+		assertions := 0
+		for _, s := range c.Steps {
+			assertions += len(s.Assertions)
+		}
+		fmt.Fprintf(stdout, "%s\t%s\tplatform=%s\tevents=%d\tsteps=%d\tassertions=%d\n",
+			file, c.Name, c.Platform.PlatformName(), len(c.Events), len(c.Steps), assertions)
+		return 0
+	}
+
+	backend, err := buildBackend(c, server)
+	if err != nil {
+		fmt.Fprintf(stderr, "pilgrimsim: %s: %v\n", file, err)
+		return 2
+	}
+
+	if mode == "validate" {
+		if err := c.CheckResources(backend.Snapshot()); err != nil {
+			fmt.Fprintf(stderr, "pilgrimsim: %s: %v\n", file, err)
+			return 2
+		}
+		scope := "resources resolved"
+		if backend.Snapshot() == nil {
+			scope = "structure checked (remote platform; resources resolve at replay)"
+		}
+		fmt.Fprintf(stdout, "%s: campaign %q valid: %s\n", file, c.Name, scope)
+		return 0
+	}
+
+	rep, err := campaign.Replay(c, backend)
+	if err != nil {
+		fmt.Fprintf(stderr, "pilgrimsim: %s: %v\n", file, err)
+		return 2
+	}
+	if !quiet {
+		printReport(stdout, file, rep)
+	}
+	if err := writeReport(rep, jsonPath, file, many, ".json", (*campaign.Report).WriteJSON, stdout); err != nil {
+		fmt.Fprintf(stderr, "pilgrimsim: %v\n", err)
+		return 2
+	}
+	if err := writeReport(rep, csvPath, file, many, ".csv", (*campaign.Report).WriteCSV, stdout); err != nil {
+		fmt.Fprintf(stderr, "pilgrimsim: %v\n", err)
+		return 2
+	}
+	if !rep.Summary.Passed {
+		return 1
+	}
+	return 0
+}
+
+// buildBackend assembles the in-process or remote backend.
+func buildBackend(c *campaign.Campaign, server string) (campaign.Backend, error) {
+	if server != "" {
+		return campaign.NewRemoteBackend(pilgrim.NewClient(server), c.Platform.PlatformName()), nil
+	}
+	registry, err := campaign.BuildRegistry(c.Platform)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.NewInProcessBackend(registry, c.Platform.PlatformName()), nil
+}
+
+// writeReport emits one serialized report. With several campaign files
+// and a concrete path, each report gets the campaign file's base name
+// spliced in so they don't overwrite each other.
+func writeReport(rep *campaign.Report, path, file string, many bool, ext string, write func(*campaign.Report, io.Writer) error, stdout io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(rep, stdout)
+	}
+	if many {
+		base := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		path = strings.TrimSuffix(path, ext) + "_" + base + ext
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(rep, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printReport renders the human-readable replay transcript.
+func printReport(w io.Writer, file string, rep *campaign.Report) {
+	fmt.Fprintf(w, "campaign %q (%s) on %s\n", rep.Campaign, file, rep.Platform)
+	// Interleave events and steps by instant, matching replay order.
+	ei := 0
+	for _, step := range rep.Steps {
+		for ei < len(rep.Events) && rep.Events[ei].At <= step.At {
+			fmt.Fprintf(w, "  t=%4ds  event  %s\n", rep.Events[ei].At, rep.Events[ei].Detail)
+			ei++
+		}
+		fmt.Fprintf(w, "  t=%4ds  step   %s (%d scenarios × %d queries)\n",
+			step.At, step.Name, step.Stats.Scenarios, step.Stats.Queries)
+		for _, sc := range step.Scenarios {
+			if sc.Error != "" {
+				fmt.Fprintf(w, "           scenario %s: ERROR %s\n", sc.Name, sc.Error)
+			}
+		}
+		for _, a := range step.Assertions {
+			status := "PASS"
+			if !a.Passed {
+				status = "FAIL"
+			}
+			line := fmt.Sprintf("           %s  %s", status, a.Desc)
+			if a.Observed != "" {
+				line += "  observed=" + a.Observed
+			}
+			if !a.Passed && a.Detail != "" {
+				line += "  (" + a.Detail + ")"
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	for ; ei < len(rep.Events); ei++ {
+		fmt.Fprintf(w, "  t=%4ds  event  %s\n", rep.Events[ei].At, rep.Events[ei].Detail)
+	}
+	verdict := "PASS"
+	if !rep.Summary.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "  %s: %d/%d assertions passed over %d cells\n",
+		verdict, rep.Summary.Assertions-rep.Summary.FailedAssertions, rep.Summary.Assertions, rep.Summary.Cells)
+}

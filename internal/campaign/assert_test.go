@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/workflow"
+)
+
+var (
+	inf = math.Inf(1)
+	nan = math.NaN()
+)
+
+// TestToleranceWithin is the eq-comparison edge table: exact equality,
+// absolute and relative bands, and the NaN/Inf guards (NaN never
+// passes; infinities only on exact sign-matching equality).
+func TestToleranceWithin(t *testing.T) {
+	cases := []struct {
+		name      string
+		tol       Tolerance
+		obs, want float64
+		pass      bool
+	}{
+		{"exact equal, zero tolerance", Tolerance{}, 42, 42, true},
+		{"tiny drift, zero tolerance", Tolerance{}, 42.0000001, 42, false},
+		{"inside abs band", Tolerance{Abs: 0.5}, 42.4, 42, true},
+		{"on the abs edge", Tolerance{Abs: 0.5}, 42.5, 42, true},
+		{"outside abs band", Tolerance{Abs: 0.5}, 42.6, 42, false},
+		{"inside rel band", Tolerance{Rel: 0.1}, 45, 42, true},
+		{"outside rel band", Tolerance{Rel: 0.1}, 47, 42, false},
+		{"rel band of negative reference", Tolerance{Rel: 0.1}, -45, -42, true},
+		{"abs and rel compose", Tolerance{Abs: 1, Rel: 0.1}, 47, 42, true},
+		{"zero reference kills rel slack", Tolerance{Rel: 0.5}, 0.1, 0, false},
+		{"zero reference keeps abs slack", Tolerance{Abs: 0.2}, 0.1, 0, true},
+		{"NaN observed never passes", Tolerance{Abs: inf}, nan, 42, false},
+		{"NaN wanted never passes", Tolerance{Abs: inf}, 42, nan, false},
+		{"NaN both never passes", Tolerance{}, nan, nan, false},
+		{"+Inf equals +Inf", Tolerance{}, inf, inf, true},
+		{"-Inf equals -Inf", Tolerance{}, -inf, -inf, true},
+		{"+Inf is not -Inf", Tolerance{Abs: inf}, inf, -inf, false},
+		{"finite is not +Inf even with rel slack", Tolerance{Rel: 10}, 1e300, inf, false},
+		{"+Inf is not finite", Tolerance{Abs: 1e308}, inf, 42, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.tol.withinTolerance(tc.obs, tc.want); got != tc.pass {
+				t.Errorf("withinTolerance(%v, %v) with %+v = %v, want %v", tc.obs, tc.want, tc.tol, got, tc.pass)
+			}
+		})
+	}
+}
+
+// TestToleranceBounds covers the one-sided comparisons used by bound
+// and delta assertions, with the mirrored non-finite rules.
+func TestToleranceBounds(t *testing.T) {
+	cases := []struct {
+		name       string
+		tol        Tolerance
+		obs, bound float64
+		atMost     bool
+		atLeast    bool
+	}{
+		{"strictly below", Tolerance{}, 41, 42, true, false},
+		{"equal", Tolerance{}, 42, 42, true, true},
+		{"strictly above", Tolerance{}, 43, 42, false, true},
+		{"above inside abs slack", Tolerance{Abs: 2}, 43, 42, true, true},
+		{"below inside rel slack", Tolerance{Rel: 0.1}, 39, 42, true, true},
+		{"NaN observed fails both", Tolerance{Abs: inf}, nan, 42, false, false},
+		{"NaN bound fails both", Tolerance{Abs: inf}, 42, nan, false, false},
+		{"+Inf bound admits everything", Tolerance{}, 1e300, inf, true, false},
+		{"-Inf bound admits nothing above", Tolerance{}, -1e300, -inf, false, true},
+		{"+Inf observed exceeds finite bounds", Tolerance{}, inf, 42, false, true},
+		{"-Inf observed undercuts finite bounds", Tolerance{}, -inf, 42, true, false},
+		{"+Inf observed meets +Inf bound", Tolerance{}, inf, inf, true, true},
+		{"-Inf observed meets -Inf bound", Tolerance{}, -inf, -inf, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.tol.atMost(tc.obs, tc.bound); got != tc.atMost {
+				t.Errorf("atMost(%v, %v) = %v, want %v", tc.obs, tc.bound, got, tc.atMost)
+			}
+			if got := tc.tol.atLeast(tc.obs, tc.bound); got != tc.atLeast {
+				t.Errorf("atLeast(%v, %v) = %v, want %v", tc.obs, tc.bound, got, tc.atLeast)
+			}
+		})
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+func ip(v int) *int         { return &v }
+
+// gridResponse fabricates a two-scenario answer grid: a
+// predict_transfers cell, a select_fastest cell, and a workflow cell,
+// with the degraded scenario exactly 2x the baseline.
+func gridResponse() *pilgrim.EvaluateResponse {
+	row := func(name string, scale float64) pilgrim.ScenarioResult {
+		return pilgrim.ScenarioResult{
+			Name: name,
+			Results: []pilgrim.EvalResult{
+				{Predictions: []pilgrim.Prediction{
+					{Src: "a", Dst: "b", Size: 1, Duration: 10 * scale},
+					{Src: "a", Dst: "c", Size: 1, Duration: 20 * scale},
+				}},
+				{Best: ip(1), Hypotheses: []pilgrim.HypothesisResult{
+					{Index: 0, Makespan: 8 * scale},
+					{Index: 1, Makespan: 4 * scale},
+				}},
+				{Forecast: &workflow.Forecast{Name: "wf", Makespan: 30 * scale, Tasks: []workflow.TaskSchedule{
+					{ID: "stage", Start: 0, Finish: 12 * scale},
+					{ID: "crunch", Start: 12 * scale, Finish: 30 * scale},
+				}}},
+			},
+		}
+	}
+	return &pilgrim.EvaluateResponse{
+		Platform:  "p",
+		Scenarios: []pilgrim.ScenarioResult{row("baseline", 1), row("degraded", 2)},
+	}
+}
+
+// TestAssertionCheck walks every assertion family over a fabricated
+// grid, both verdicts of each.
+func TestAssertionCheck(t *testing.T) {
+	resp := gridResponse()
+	cases := []struct {
+		name string
+		a    Assertion
+		pass bool
+	}{
+		{"bound max pass", Assertion{Type: AssertBound, Scenario: "baseline", Metric: MetricMakespan, Max: fp(25)}, true},
+		{"bound max fail", Assertion{Type: AssertBound, Scenario: "degraded", Metric: MetricMakespan, Max: fp(25)}, false},
+		{"bound min on duration", Assertion{Type: AssertBound, Scenario: "baseline", Metric: MetricDuration, Transfer: 1, Min: fp(15)}, true},
+		{"bound on task finish", Assertion{Type: AssertBound, Scenario: "baseline", Query: 2, Metric: MetricTaskFinish, Task: "stage", Max: fp(12)}, true},
+		{"bound on missing task", Assertion{Type: AssertBound, Scenario: "baseline", Query: 2, Metric: MetricTaskFinish, Task: "ghost", Max: fp(12)}, false},
+		{"eq with rel tolerance", Assertion{Type: AssertEq, Scenario: "baseline", Metric: MetricMakespan, Value: fp(19), Tol: Tolerance{Rel: 0.06}}, true},
+		{"eq exact fail", Assertion{Type: AssertEq, Scenario: "baseline", Metric: MetricMakespan, Value: fp(19)}, false},
+		{"delta max_factor pass", Assertion{Type: AssertDelta, Scenario: "degraded", Against: "baseline", Metric: MetricMakespan, MaxFactor: fp(2)}, true},
+		{"delta max_factor fail", Assertion{Type: AssertDelta, Scenario: "degraded", Against: "baseline", Metric: MetricMakespan, MaxFactor: fp(1.5)}, false},
+		{"delta min_factor pass", Assertion{Type: AssertDelta, Scenario: "degraded", Against: "baseline", Metric: MetricMakespan, MinFactor: fp(2)}, true},
+		{"delta max_increase pass", Assertion{Type: AssertDelta, Scenario: "degraded", Against: "baseline", Query: 1, MaxIncrease: fp(4)}, true},
+		{"delta max_increase fail", Assertion{Type: AssertDelta, Scenario: "degraded", Against: "baseline", Query: 1, MaxIncrease: fp(3.9)}, false},
+		{"selection pass", Assertion{Type: AssertSelection, Scenario: "baseline", Query: 1, Best: ip(1)}, true},
+		{"selection fail", Assertion{Type: AssertSelection, Scenario: "baseline", Query: 1, Best: ip(0)}, false},
+		{"pinned hypothesis makespan", Assertion{Type: AssertBound, Scenario: "baseline", Query: 1, Hypothesis: ip(0), Max: fp(8)}, true},
+		{"winner makespan by default", Assertion{Type: AssertBound, Scenario: "baseline", Query: 1, Max: fp(4)}, true},
+		{"error expected but absent", Assertion{Type: AssertError, Scenario: "baseline"}, false},
+		{"unknown scenario row", Assertion{Type: AssertBound, Scenario: "ghost", Max: fp(1)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.a
+			if a.Metric == "" {
+				a.Metric = MetricMakespan
+			}
+			res := a.check(resp)
+			if res.Passed != tc.pass {
+				t.Errorf("check(%+v) passed=%v detail=%q, want passed=%v", tc.a, res.Passed, res.Detail, tc.pass)
+			}
+			if !res.Passed && res.Detail == "" && res.Observed == "" {
+				t.Error("failed assertion carries neither detail nor observed value")
+			}
+		})
+	}
+}
+
+// TestAssertionErrors: the error family matches scenario- and
+// cell-level failures, with optional substring pinning.
+func TestAssertionErrors(t *testing.T) {
+	resp := &pilgrim.EvaluateResponse{Scenarios: []pilgrim.ScenarioResult{
+		{Name: "broken", Error: `scenario "broken": unknown link "ghost"`},
+		{Name: "half", Results: []pilgrim.EvalResult{
+			{Error: `sim: link "x_nic" on route a->b is down`},
+			{Predictions: []pilgrim.Prediction{{Duration: 5}}},
+		}},
+	}}
+	cases := []struct {
+		name string
+		a    Assertion
+		pass bool
+	}{
+		{"scenario error matches", Assertion{Type: AssertError, Scenario: "broken"}, true},
+		{"scenario error substring", Assertion{Type: AssertError, Scenario: "broken", Contains: "unknown link"}, true},
+		{"scenario error wrong substring", Assertion{Type: AssertError, Scenario: "broken", Contains: "down"}, false},
+		{"cell error matches", Assertion{Type: AssertError, Scenario: "half", Query: 0, Contains: "down"}, true},
+		{"healthy cell does not error", Assertion{Type: AssertError, Scenario: "half", Query: 1}, false},
+		{"non-error assertion on broken scenario fails", Assertion{Type: AssertBound, Scenario: "broken", Metric: MetricMakespan, Max: fp(10)}, false},
+		{"non-error assertion on broken cell fails", Assertion{Type: AssertBound, Scenario: "half", Query: 0, Metric: MetricMakespan, Max: fp(10)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := tc.a.check(resp)
+			if res.Passed != tc.pass {
+				t.Errorf("check(%+v) passed=%v detail=%q, want %v", tc.a, res.Passed, res.Detail, tc.pass)
+			}
+		})
+	}
+}
+
+// TestDescribeDeterministic: the rendered clause is stable and names
+// the target cell — it is part of the golden CSV surface.
+func TestDescribeDeterministic(t *testing.T) {
+	a := Assertion{Type: AssertBound, Scenario: "s", Query: 2, Metric: MetricDuration, Transfer: 1, Min: fp(0.5), Max: fp(80)}
+	want := "bound(s/q2/duration[1]) >= 0.5, <= 80"
+	if got := a.Describe(); got != want {
+		t.Errorf("Describe() = %q, want %q", got, want)
+	}
+	d := Assertion{Type: AssertDelta, Scenario: "deg", Against: "baseline", MaxFactor: fp(3), Metric: MetricMakespan}
+	if got := d.Describe(); !strings.Contains(got, "baseline") || !strings.Contains(got, "3") {
+		t.Errorf("delta Describe() = %q", got)
+	}
+}

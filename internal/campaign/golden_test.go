@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayExample loads an example campaign, builds its platform fresh,
+// and replays it in-process, returning the serialized reports.
+func replayExample(t *testing.T, name string) (rep *Report, jsonOut, csvOut []byte) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", name+".yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry, err := BuildRegistry(c.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := NewInProcessBackend(registry, c.Platform.PlatformName())
+	if err := c.CheckResources(backend.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Replay(c, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb, cb bytes.Buffer
+	if err := rep.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return rep, jb.Bytes(), cb.Bytes()
+}
+
+// TestExampleCampaignsGolden replays each shipped example twice on
+// independently built platforms and compares both runs and the
+// committed goldens byte-for-byte. The reports are the CI contract:
+// any drift in simulation results, assertion wording, or serialization
+// shows up here first. Regenerate with UPDATE_CAMPAIGN_GOLDEN=1.
+func TestExampleCampaignsGolden(t *testing.T) {
+	for _, name := range []string{"smoke", "link_degradation", "router_failure"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rep, json1, csv1 := replayExample(t, name)
+			if !rep.Summary.Passed {
+				t.Errorf("example campaign %s has failing assertions (%d/%d failed)",
+					name, rep.Summary.FailedAssertions, rep.Summary.Assertions)
+				for _, s := range rep.Steps {
+					for _, a := range s.Assertions {
+						if !a.Passed {
+							t.Logf("  step %s: FAIL %s observed=%s %s", s.Name, a.Desc, a.Observed, a.Detail)
+						}
+					}
+				}
+			}
+
+			_, json2, csv2 := replayExample(t, name)
+			if !bytes.Equal(json1, json2) {
+				t.Error("two replays produced different JSON reports (non-deterministic replay)")
+			}
+			if !bytes.Equal(csv1, csv2) {
+				t.Error("two replays produced different CSV reports (non-deterministic replay)")
+			}
+
+			goldenJSON := filepath.Join("..", "..", "examples", "campaigns", "golden", name+".json")
+			goldenCSV := filepath.Join("..", "..", "examples", "campaigns", "golden", name+".csv")
+			if os.Getenv("UPDATE_CAMPAIGN_GOLDEN") != "" {
+				if err := os.WriteFile(goldenJSON, json1, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenCSV, csv1, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("regenerated goldens for %s", name)
+				return
+			}
+			wantJSON, err := os.ReadFile(goldenJSON)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCSV, err := os.ReadFile(goldenCSV)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(json1, wantJSON) {
+				t.Errorf("JSON report drifted from %s (rerun with UPDATE_CAMPAIGN_GOLDEN=1 if intended)", goldenJSON)
+			}
+			if !bytes.Equal(csv1, wantCSV) {
+				t.Errorf("CSV report drifted from %s (rerun with UPDATE_CAMPAIGN_GOLDEN=1 if intended)", goldenCSV)
+			}
+		})
+	}
+}

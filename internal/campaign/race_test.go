@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pilgrim/internal/metrology"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platform"
+	"pilgrim/internal/rrd"
+)
+
+// raceDoc deliberately carries no observe events: the concurrent
+// metrology ingestor is the timeline's only writer, so replays never
+// race it on observation ordering. Assertions stay loose (bounds and
+// an error match, no selection) — the routes they touch are disjoint
+// from the link the ingestor feeds, so answers are stable no matter
+// how the goroutines interleave.
+const raceDoc = `name: race-drill
+platform: g5k_mini
+start: 1735689600
+steps:
+  - at: 30
+    name: early
+    scenarios:
+      - name: baseline
+      - name: nic-dead
+        mutations:
+          - {op: fail_link, link: sagittaire-1.lyon.grid5000.fr_nic}
+    queries:
+      - kind: predict_transfers
+        transfers:
+          - {src: sagittaire-1.lyon.grid5000.fr, dst: graphene-1.nancy.grid5000.fr, size: 1.0e8}
+    assertions:
+      - {type: bound, scenario: baseline, query: 0, metric: duration, transfer: 0, min: 0.001, max: 600}
+      - {type: error, scenario: nic-dead, query: 0, contains: down}
+  - at: 120
+    name: late
+    scenarios:
+      - name: baseline
+    queries:
+      - kind: predict_transfers
+        transfers:
+          - {src: sagittaire-2.lyon.grid5000.fr, dst: graphene-2.nancy.grid5000.fr, size: 5.0e7}
+    assertions:
+      - {type: bound, scenario: baseline, query: 0, metric: duration, transfer: 0, min: 0.001, max: 600}
+`
+
+// TestReplayConcurrentWithIngestAndHTTP exercises the whole stack under
+// contention on one registry: campaign replays (in-process and through
+// a live HTTP server), a metrology ingestor folding fresh observations
+// into the platform timeline, and raw /pilgrim/evaluate traffic — all
+// concurrently. Run under -race; assertion outcomes must not wobble.
+func TestReplayConcurrentWithIngestAndHTTP(t *testing.T) {
+	c, err := Load([]byte(raceDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry, err := BuildRegistry(c.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c.Platform.PlatformName()
+
+	// A gauge feeding graphene-8's NIC — a link no campaign query routes
+	// over, so the concurrent bandwidth updates cannot shift assertions.
+	metrics := metrology.NewRegistry()
+	path := metrology.MetricPath{Tool: "iperf", Site: "nancy", Host: "graphene-8.nancy.grid5000.fr", Metric: "bw"}
+	if err := metrics.Register(path, rrd.Gauge, 15, func(ts int64) float64 { return 9.0e7 + float64(ts%30) }); err != nil {
+		t.Fatal(err)
+	}
+	ing := metrology.NewIngestor(metrics, "racetest")
+	if err := ing.Bind(metrology.LinkBinding{Metric: path, Link: "graphene-8.nancy.grid5000.fr_nic", Quantity: metrology.LinkBandwidth}); err != nil {
+		t.Fatal(err)
+	}
+	// Collection starts at the campaign epoch, not 1970: without this,
+	// the first Ingest would scan one fetch row per 15s step since the
+	// Unix epoch.
+	ing.SetCursor(DefaultStart)
+
+	srv := httptest.NewServer(pilgrim.NewServer(registry, metrics))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Metrology ingest: 15-second collection slices starting at the
+	// campaign start, folded into the shared timeline as they land.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		from := int64(DefaultStart)
+		for i := 0; i < 20; i++ {
+			to := from + 15
+			if err := metrics.Collect(from, to); err != nil {
+				errs <- fmt.Errorf("collect: %w", err)
+				return
+			}
+			_, err := ing.Ingest(to, func(ts int64, source string, updates []platform.LinkUpdate) error {
+				_, err := registry.ObserveLinkState(name, ts, source, updates)
+				return err
+			})
+			if err != nil {
+				errs <- fmt.Errorf("ingest: %w", err)
+				return
+			}
+			from = to
+		}
+	}()
+
+	// Two independent in-process replays sharing the registry.
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := Replay(c, NewInProcessBackend(registry, name))
+			if err != nil {
+				errs <- fmt.Errorf("in-process replay %d: %w", i, err)
+				return
+			}
+			if !rep.Summary.Passed {
+				errs <- fmt.Errorf("in-process replay %d: %d/%d assertions failed",
+					i, rep.Summary.FailedAssertions, rep.Summary.Assertions)
+			}
+		}()
+	}
+
+	// One replay through the live HTTP server.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, err := Replay(c, NewRemoteBackend(pilgrim.NewClient(srv.URL), name))
+		if err != nil {
+			errs <- fmt.Errorf("remote replay: %w", err)
+			return
+		}
+		if !rep.Summary.Passed {
+			errs <- fmt.Errorf("remote replay: %d/%d assertions failed",
+				rep.Summary.FailedAssertions, rep.Summary.Assertions)
+		}
+	}()
+
+	// Raw /pilgrim/evaluate traffic hammering the same grid.
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := pilgrim.NewClient(srv.URL)
+			req := pilgrim.EvaluateRequest{
+				At: DefaultStart + 30,
+				Queries: []pilgrim.EvalQuery{{
+					Kind: "predict_transfers",
+					Transfers: []pilgrim.TransferRequest{
+						{Src: "sagittaire-3.lyon.grid5000.fr", Dst: "graphene-3.nancy.grid5000.fr", Size: 1.0e7},
+					},
+				}},
+			}
+			for j := 0; j < 8; j++ {
+				resp, err := client.Evaluate(name, req)
+				if err != nil {
+					errs <- fmt.Errorf("evaluate traffic %d: %w", i, err)
+					return
+				}
+				if len(resp.Scenarios) != 1 || resp.Scenarios[0].Error != "" {
+					errs <- fmt.Errorf("evaluate traffic %d: unexpected grid %+v", i, resp.Scenarios)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

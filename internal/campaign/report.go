@@ -1,0 +1,265 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/workflow"
+)
+
+// Report is the replay artifact: the event log, every step's grid of
+// answers, the assertion verdicts, and a roll-up summary. It is built
+// to be diffed — identical campaigns on identical platforms serialize
+// byte-identically, which is what lets CI commit golden reports and
+// gate on drift. Process-unique values (epoch ids) are deliberately
+// absent; scenario provenance strings carry the same information
+// stably.
+type Report struct {
+	Campaign    string        `json:"campaign"`
+	Description string        `json:"description,omitempty"`
+	Platform    string        `json:"platform"`
+	Start       int64         `json:"start"`
+	Events      []EventReport `json:"events,omitempty"`
+	Steps       []StepReport  `json:"steps"`
+	Summary     Summary       `json:"summary"`
+}
+
+// EventReport logs one replayed event.
+type EventReport struct {
+	At     int64  `json:"at"`
+	Action string `json:"action"`
+	Detail string `json:"detail"`
+}
+
+// StepReport is one step's evaluated grid plus its verdicts.
+type StepReport struct {
+	Name       string            `json:"name"`
+	At         int64             `json:"at"`
+	Scenarios  []ScenarioReport  `json:"scenarios"`
+	Assertions []AssertionResult `json:"assertions,omitempty"`
+	Stats      StepStats         `json:"stats"`
+}
+
+// StepStats is the deterministic subset of the evaluate accounting:
+// grid shape and dedup structure. Simulation/cache-hit counts are
+// omitted — they depend on cache state shared across parallel groups
+// and would make golden reports flaky.
+type StepStats struct {
+	Scenarios int `json:"scenarios"`
+	Queries   int `json:"queries"`
+	Cells     int `json:"cells"`
+	Groups    int `json:"groups"`
+}
+
+// ScenarioReport is one scenario row of a step's grid.
+type ScenarioReport struct {
+	Name            string       `json:"name"`
+	Provenance      string       `json:"provenance,omitempty"`
+	BackgroundFlows int          `json:"background_flows,omitempty"`
+	Error           string       `json:"error,omitempty"`
+	Cells           []CellReport `json:"cells,omitempty"`
+}
+
+// CellReport is one scenario×query answer, flattened to the metrics
+// assertions speak: per-transfer durations, hypothesis makespans and
+// the winner, or a workflow schedule.
+type CellReport struct {
+	Query     int                     `json:"query"`
+	Kind      string                  `json:"kind"`
+	Error     string                  `json:"error,omitempty"`
+	Durations []float64               `json:"durations,omitempty"`
+	Best      *int                    `json:"best,omitempty"`
+	Makespans []float64               `json:"makespans,omitempty"`
+	Makespan  *float64                `json:"makespan,omitempty"`
+	Tasks     []workflow.TaskSchedule `json:"tasks,omitempty"`
+}
+
+// Summary rolls the replay up to one verdict.
+type Summary struct {
+	Events           int  `json:"events"`
+	Steps            int  `json:"steps"`
+	Cells            int  `json:"cells"`
+	Assertions       int  `json:"assertions"`
+	FailedAssertions int  `json:"failed_assertions"`
+	Passed           bool `json:"passed"`
+}
+
+// buildStepReport flattens one evaluate response into report rows.
+func buildStepReport(s *Step, resp *pilgrim.EvaluateResponse) *StepReport {
+	sr := &StepReport{
+		Name: s.Name,
+		At:   s.At,
+		Stats: StepStats{
+			Scenarios: resp.Stats.Scenarios,
+			Queries:   resp.Stats.Queries,
+			Cells:     resp.Stats.Cells,
+			Groups:    resp.Stats.Groups,
+		},
+	}
+	sr.Scenarios = make([]ScenarioReport, len(resp.Scenarios))
+	for i, row := range resp.Scenarios {
+		rep := ScenarioReport{
+			Name:            row.Name,
+			Provenance:      row.Provenance,
+			BackgroundFlows: row.BackgroundFlows,
+			Error:           row.Error,
+		}
+		for qi, cell := range row.Results {
+			kind := ""
+			if qi < len(s.Queries) {
+				kind = s.Queries[qi].Kind
+			}
+			rep.Cells = append(rep.Cells, buildCellReport(qi, kind, cell))
+		}
+		sr.Scenarios[i] = rep
+	}
+	return sr
+}
+
+func buildCellReport(qi int, kind string, cell pilgrim.EvalResult) CellReport {
+	cr := CellReport{Query: qi, Kind: kind, Error: cell.Error}
+	if cell.Error != "" {
+		return cr
+	}
+	if len(cell.Predictions) > 0 {
+		max := 0.0
+		for _, p := range cell.Predictions {
+			cr.Durations = append(cr.Durations, p.Duration)
+			if p.Duration > max {
+				max = p.Duration
+			}
+		}
+		cr.Makespan = &max
+	}
+	if cell.Best != nil {
+		best := *cell.Best
+		cr.Best = &best
+		for _, h := range cell.Hypotheses {
+			cr.Makespans = append(cr.Makespans, h.Makespan)
+		}
+		if best >= 0 && best < len(cell.Hypotheses) {
+			win := cell.Hypotheses[best].Makespan
+			cr.Makespan = &win
+		}
+	}
+	if cell.Forecast != nil {
+		mk := cell.Forecast.Makespan
+		cr.Makespan = &mk
+		cr.Tasks = cell.Forecast.Tasks
+	}
+	return cr
+}
+
+// summarize computes the roll-up after all steps replayed.
+func summarize(rep *Report) Summary {
+	s := Summary{Events: len(rep.Events), Steps: len(rep.Steps)}
+	for _, step := range rep.Steps {
+		for _, sc := range step.Scenarios {
+			s.Cells += len(sc.Cells)
+		}
+		for _, a := range step.Assertions {
+			s.Assertions++
+			if !a.Passed {
+				s.FailedAssertions++
+			}
+		}
+	}
+	s.Passed = s.FailedAssertions == 0
+	return s
+}
+
+// WriteJSON emits the report as indented JSON with a trailing newline.
+// Key order and float formatting come from encoding/json, so identical
+// reports serialize byte-identically.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteCSV emits the report as flat rows, one record per event, per
+// metric value, and per assertion — the diffable, spreadsheet-ready
+// view of a campaign. Columns:
+//
+//	record,step,at,scenario,query,kind,metric,detail,value,status
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"record", "step", "at", "scenario", "query", "kind", "metric", "detail", "value", "status"}); err != nil {
+		return err
+	}
+	at := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, e := range r.Events {
+		if err := cw.Write([]string{"event", "", at(e.At), "", "", e.Action, "", e.Detail, "", ""}); err != nil {
+			return err
+		}
+	}
+	for _, step := range r.Steps {
+		for _, sc := range step.Scenarios {
+			if sc.Error != "" {
+				if err := cw.Write([]string{"result", step.Name, at(step.At), sc.Name, "", "", "error", sc.Error, "", "error"}); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, cell := range sc.Cells {
+				q := strconv.Itoa(cell.Query)
+				if cell.Error != "" {
+					if err := cw.Write([]string{"result", step.Name, at(step.At), sc.Name, q, cell.Kind, "error", cell.Error, "", "error"}); err != nil {
+						return err
+					}
+					continue
+				}
+				for i, d := range cell.Durations {
+					if err := cw.Write([]string{"result", step.Name, at(step.At), sc.Name, q, cell.Kind, "duration", strconv.Itoa(i), formatValue(d), ""}); err != nil {
+						return err
+					}
+				}
+				for i, m := range cell.Makespans {
+					if err := cw.Write([]string{"result", step.Name, at(step.At), sc.Name, q, cell.Kind, "hypothesis_makespan", strconv.Itoa(i), formatValue(m), ""}); err != nil {
+						return err
+					}
+				}
+				if cell.Best != nil {
+					if err := cw.Write([]string{"result", step.Name, at(step.At), sc.Name, q, cell.Kind, "best", "", strconv.Itoa(*cell.Best), ""}); err != nil {
+						return err
+					}
+				}
+				for _, t := range cell.Tasks {
+					if err := cw.Write([]string{"result", step.Name, at(step.At), sc.Name, q, cell.Kind, "task_finish", t.ID, formatValue(t.Finish), ""}); err != nil {
+						return err
+					}
+				}
+				if cell.Makespan != nil {
+					if err := cw.Write([]string{"result", step.Name, at(step.At), sc.Name, q, cell.Kind, "makespan", "", formatValue(*cell.Makespan), ""}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for _, a := range step.Assertions {
+			status := "pass"
+			if !a.Passed {
+				status = "fail"
+			}
+			if err := cw.Write([]string{"assertion", step.Name, at(step.At), "", strconv.Itoa(a.Index), "", a.Desc, a.Detail, a.Observed, status}); err != nil {
+				return err
+			}
+		}
+	}
+	verdict := "pass"
+	if !r.Summary.Passed {
+		verdict = "fail"
+	}
+	if err := cw.Write([]string{"summary", "", "", "", "", "", fmt.Sprintf("%d/%d assertions passed", r.Summary.Assertions-r.Summary.FailedAssertions, r.Summary.Assertions), "", "", verdict}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

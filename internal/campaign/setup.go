@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"fmt"
+
+	"pilgrim/internal/g5k"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/platgen"
+	"pilgrim/internal/sim"
+)
+
+// GenerateVariants maps the campaign `generate:` values to a reference
+// dataset and platgen variant. g5k_mini builds the compact two-site
+// reference — the fast flavour for smoke campaigns and CI.
+var GenerateVariants = []string{"g5k_test", "g5k_cabinets", "g5k_mini"}
+
+// BuildRegistry generates the campaign's platform from the embedded
+// Grid'5000 reference and registers it under the campaign's platform
+// name, ready for an InProcessBackend. Campaigns that only name a
+// platform (remote replay) cannot be built in-process.
+func BuildRegistry(ref PlatformRef) (*pilgrim.Registry, error) {
+	if ref.Generate == "" {
+		return nil, fmt.Errorf("campaign: platform has no generate: variant (in-process replay needs one; use -server for a remote platform)")
+	}
+	dataset := g5k.Default()
+	var variant platgen.Variant
+	switch ref.Generate {
+	case "g5k_test":
+		variant = platgen.G5KTest
+	case "g5k_cabinets":
+		variant = platgen.G5KCabinets
+	case "g5k_mini":
+		dataset = g5k.Mini()
+		variant = platgen.G5KTest
+	default:
+		return nil, fmt.Errorf("campaign: unknown generate variant %q (have %v)", ref.Generate, GenerateVariants)
+	}
+	plat, err := platgen.Generate(dataset, platgen.Options{
+		Variant:              variant,
+		EquipmentLimits:      ref.EquipmentLimits,
+		UseMeasuredLatencies: ref.MeasuredLatencies,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: generating %s: %w", ref.Generate, err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.GammaUsesLatencyFactor = ref.GammaLatFactor
+	registry := pilgrim.NewRegistry()
+	if err := registry.Add(ref.PlatformName(), pilgrim.PlatformEntry{Platform: plat, Config: cfg}); err != nil {
+		return nil, err
+	}
+	return registry, nil
+}

@@ -1,0 +1,628 @@
+// Package campaign implements declarative scenario campaigns: a YAML
+// script of timed events (link observations, failures, background
+// traffic) replayed deterministically into a platform's timeline, with
+// evaluation steps that sweep scenario×query grids through the batched
+// evaluate machinery and assertions that turn the forecast results into
+// pass/fail verdicts. A campaign file is a whole failure drill — "at
+// t=5s the NIC degrades, at t=30s the aggregation switch fails, assert
+// the workflow forecast stays under 80 s" — runnable as one command
+// (cmd/pilgrimsim) and diffable as one CSV/JSON artifact, which makes
+// drills CI-able regression tests (see docs/CAMPAIGNS.md).
+package campaign
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The repo carries no external dependencies, so campaigns are parsed by
+// a small built-in YAML subset parser: block mappings and sequences by
+// indentation, compact "- key: value" sequence entries, flow collections
+// ([a, b] and {k: v}), single- and double-quoted scalars, and '#'
+// comments. Anchors, aliases, tags, multi-line block scalars, and
+// multi-document streams are not supported — a campaign needs none of
+// them. The parser never panics on malformed input (fuzz-tested); every
+// error is a *ParseError carrying the offending line.
+
+// ParseError reports a malformed campaign document with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error formats the error as "yaml: line N: msg".
+func (e *ParseError) Error() string {
+	if e.Line <= 0 {
+		return "yaml: " + e.Msg
+	}
+	return fmt.Sprintf("yaml: line %d: %s", e.Line, e.Msg)
+}
+
+func parseErrf(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// nodeKind discriminates parsed YAML nodes.
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	seqNode
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case scalarNode:
+		return "scalar"
+	case mapNode:
+		return "mapping"
+	case seqNode:
+		return "sequence"
+	default:
+		return fmt.Sprintf("nodeKind(%d)", int(k))
+	}
+}
+
+// node is one parsed YAML value. Scalars keep their raw text; typed
+// interpretation (int, float, duration, bool) happens at decode time
+// against the campaign schema, where field context makes errors precise.
+type node struct {
+	kind   nodeKind
+	line   int
+	scalar string // scalarNode: unquoted text
+	quoted bool   // scalarNode: was quoted (forces string, disables null)
+	keys   []string
+	vals   map[string]*node
+	items  []*node
+}
+
+// isNull reports whether the scalar spells YAML null.
+func (n *node) isNull() bool {
+	if n.kind != scalarNode || n.quoted {
+		return false
+	}
+	switch n.scalar {
+	case "", "~", "null", "Null", "NULL":
+		return true
+	}
+	return false
+}
+
+func (n *node) child(key string) *node {
+	if n == nil || n.kind != mapNode {
+		return nil
+	}
+	return n.vals[key]
+}
+
+// yamlLine is one significant (non-blank, non-comment) source line.
+type yamlLine struct {
+	num    int
+	indent int
+	text   string // content after indentation, comments stripped
+}
+
+// parseYAML parses one YAML document into a node tree.
+func parseYAML(data []byte) (*node, error) {
+	lines, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, parseErrf(0, "empty document")
+	}
+	p := &yamlParser{lines: lines}
+	root, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, parseErrf(l.num, "unexpected content %q (indentation decreased below the document root?)", l.text)
+	}
+	return root, nil
+}
+
+// splitLines strips comments and blank lines and measures indentation.
+func splitLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	num := 0
+	for len(src) > 0 {
+		line := src
+		if i := strings.IndexByte(src, '\n'); i >= 0 {
+			line, src = src[:i], src[i+1:]
+		} else {
+			src = ""
+		}
+		num++
+		line = strings.TrimSuffix(line, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, parseErrf(num, "tab characters are not allowed in indentation")
+		}
+		content := stripComment(line[indent:])
+		content = strings.TrimRight(content, " \t")
+		if content == "" {
+			continue
+		}
+		if content == "---" && len(out) == 0 {
+			continue // leading document marker
+		}
+		out = append(out, yamlLine{num: num, indent: indent, text: content})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing comment: a '#' outside quotes that
+// starts the line or follows whitespace.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+					i++ // escaped single quote
+					continue
+				}
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '#':
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return strings.TrimRight(s[:i], " \t")
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly indent as one node (a
+// mapping, a sequence, or a single scalar).
+func (p *yamlParser) parseBlock(indent int) (*node, error) {
+	if p.pos >= len(p.lines) {
+		return nil, parseErrf(0, "unexpected end of document")
+	}
+	first := p.lines[p.pos]
+	if first.indent != indent {
+		return nil, parseErrf(first.num, "unexpected indentation %d (expected %d)", first.indent, indent)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSeq(indent)
+	}
+	if isMapLine(first.text) {
+		return p.parseMap(indent)
+	}
+	// A bare scalar document/value.
+	p.pos++
+	return parseScalarOrFlow(first.text, first.num)
+}
+
+// isMapLine reports whether the line content begins a "key:" entry.
+func isMapLine(text string) bool {
+	_, _, ok := splitKey(text)
+	return ok
+}
+
+// splitKey splits "key: rest" (or "key:") on the first ':' outside
+// quotes followed by space or end of line.
+func splitKey(text string) (key, rest string, ok bool) {
+	var quote byte
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if quote != 0 {
+			if c == quote {
+				if quote == '\'' && i+1 < len(text) && text[i+1] == '\'' {
+					i++
+					continue
+				}
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			if i == 0 {
+				quote = c
+			}
+		case ':':
+			if i+1 == len(text) {
+				return strings.TrimSpace(text[:i]), "", true
+			}
+			if text[i+1] == ' ' {
+				return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), true
+			}
+		case '[', ']', '{', '}', ',':
+			if i == 0 {
+				return "", "", false
+			}
+		}
+	}
+	return "", "", false
+}
+
+func (p *yamlParser) parseMap(indent int) (*node, error) {
+	n := &node{kind: mapNode, line: p.lines[p.pos].num, vals: make(map[string]*node)}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, parseErrf(l.num, "unexpected indentation %d inside mapping indented %d", l.indent, indent)
+		}
+		key, rest, ok := splitKey(l.text)
+		if !ok {
+			if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+				return nil, parseErrf(l.num, "sequence entry in the middle of a mapping")
+			}
+			return nil, parseErrf(l.num, "expected \"key: value\", got %q", l.text)
+		}
+		key, err := unquoteKey(key, l.num)
+		if err != nil {
+			return nil, err
+		}
+		if key == "" {
+			return nil, parseErrf(l.num, "empty mapping key")
+		}
+		if _, dup := n.vals[key]; dup {
+			return nil, parseErrf(l.num, "duplicate mapping key %q", key)
+		}
+		p.pos++
+		var val *node
+		if rest == "" {
+			// Value is the following more-indented block, or null.
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				val, err = p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				val = &node{kind: scalarNode, line: l.num}
+			}
+		} else {
+			val, err = parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = val
+	}
+	return n, nil
+}
+
+func (p *yamlParser) parseSeq(indent int) (*node, error) {
+	n := &node{kind: seqNode, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, parseErrf(l.num, "unexpected indentation %d inside sequence indented %d", l.indent, indent)
+		}
+		var rest string
+		switch {
+		case l.text == "-":
+			rest = ""
+		case strings.HasPrefix(l.text, "- "):
+			rest = strings.TrimSpace(l.text[2:])
+		default:
+			return nil, parseErrf(l.num, "mapping entry in the middle of a sequence")
+		}
+		p.pos++
+		var item *node
+		var err error
+		switch {
+		case rest == "":
+			// Item is the following more-indented block, or null.
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				item, err = p.parseBlock(p.lines[p.pos].indent)
+			} else {
+				item = &node{kind: scalarNode, line: l.num}
+			}
+		case isMapLine(rest):
+			// Compact mapping: "- key: value" starts a mapping whose
+			// remaining keys sit two columns deeper than the dash.
+			item, err = p.parseCompactMap(rest, l.num, indent+2)
+		default:
+			item, err = parseScalarOrFlow(rest, l.num)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// parseCompactMap parses a "- key: value" sequence entry: the inline
+// first pair plus any following lines at the continuation indent.
+func (p *yamlParser) parseCompactMap(firstPair string, line, indent int) (*node, error) {
+	n := &node{kind: mapNode, line: line, vals: make(map[string]*node)}
+	key, rest, _ := splitKey(firstPair)
+	key, err := unquoteKey(key, line)
+	if err != nil {
+		return nil, err
+	}
+	if key == "" {
+		return nil, parseErrf(line, "empty mapping key")
+	}
+	var val *node
+	if rest == "" {
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			val, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			val = &node{kind: scalarNode, line: line}
+		}
+	} else {
+		val, err = parseScalarOrFlow(rest, line)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n.keys = append(n.keys, key)
+	n.vals[key] = val
+	if p.pos < len(p.lines) && p.lines[p.pos].indent == indent && isMapLine(p.lines[p.pos].text) {
+		more, err := p.parseMap(indent)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range more.keys {
+			if _, dup := n.vals[k]; dup {
+				return nil, parseErrf(more.vals[k].line, "duplicate mapping key %q", k)
+			}
+			n.keys = append(n.keys, k)
+			n.vals[k] = more.vals[k]
+		}
+	}
+	return n, nil
+}
+
+// parseScalarOrFlow parses an inline value: a flow collection when it
+// starts with '[' or '{', otherwise a scalar.
+func parseScalarOrFlow(text string, line int) (*node, error) {
+	if strings.HasPrefix(text, "[") || strings.HasPrefix(text, "{") {
+		fp := &flowParser{text: text, line: line}
+		n, err := fp.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		fp.skipSpace()
+		if fp.pos != len(fp.text) {
+			return nil, parseErrf(line, "trailing content %q after flow collection", fp.text[fp.pos:])
+		}
+		return n, nil
+	}
+	return parseScalar(text, line)
+}
+
+func parseScalar(text string, line int) (*node, error) {
+	switch {
+	case strings.HasPrefix(text, "\"") || strings.HasPrefix(text, "'"):
+		s, rest, err := unquote(text, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, parseErrf(line, "trailing content %q after quoted scalar", rest)
+		}
+		return &node{kind: scalarNode, line: line, scalar: s, quoted: true}, nil
+	case strings.HasPrefix(text, "&") || strings.HasPrefix(text, "*") || strings.HasPrefix(text, "!"):
+		return nil, parseErrf(line, "anchors, aliases and tags are not supported (%q)", text)
+	case strings.HasPrefix(text, "|") || strings.HasPrefix(text, ">"):
+		return nil, parseErrf(line, "block scalars are not supported (%q)", text)
+	default:
+		return &node{kind: scalarNode, line: line, scalar: text}, nil
+	}
+}
+
+// unquote consumes one quoted string from the front of text and returns
+// the decoded value plus the remainder.
+func unquote(text string, line int) (val, rest string, err error) {
+	quote := text[0]
+	var b strings.Builder
+	for i := 1; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c == quote:
+			if quote == '\'' && i+1 < len(text) && text[i+1] == '\'' {
+				b.WriteByte('\'')
+				i++
+				continue
+			}
+			return b.String(), text[i+1:], nil
+		case quote == '"' && c == '\\':
+			if i+1 >= len(text) {
+				return "", "", parseErrf(line, "unterminated escape in double-quoted scalar")
+			}
+			i++
+			switch text[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\\', '/':
+				b.WriteByte(text[i])
+			case '0':
+				b.WriteByte(0)
+			default:
+				return "", "", parseErrf(line, "unsupported escape \\%c in double-quoted scalar", text[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", parseErrf(line, "unterminated %c-quoted scalar", quote)
+}
+
+func unquoteKey(key string, line int) (string, error) {
+	if strings.HasPrefix(key, "\"") || strings.HasPrefix(key, "'") {
+		s, rest, err := unquote(key, line)
+		if err != nil {
+			return "", err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return "", parseErrf(line, "trailing content %q after quoted key", rest)
+		}
+		return s, nil
+	}
+	return key, nil
+}
+
+// flowParser parses inline [..] and {..} collections.
+type flowParser struct {
+	text  string
+	line  int
+	pos   int
+	depth int
+}
+
+// maxFlowDepth bounds flow-collection nesting so hostile input cannot
+// overflow the stack.
+const maxFlowDepth = 32
+
+func (fp *flowParser) skipSpace() {
+	for fp.pos < len(fp.text) && (fp.text[fp.pos] == ' ' || fp.text[fp.pos] == '\t') {
+		fp.pos++
+	}
+}
+
+func (fp *flowParser) parseValue() (*node, error) {
+	fp.skipSpace()
+	if fp.pos >= len(fp.text) {
+		return nil, parseErrf(fp.line, "unexpected end of flow collection")
+	}
+	if fp.depth >= maxFlowDepth {
+		return nil, parseErrf(fp.line, "flow collections nested deeper than %d", maxFlowDepth)
+	}
+	switch fp.text[fp.pos] {
+	case '[':
+		return fp.parseFlowSeq()
+	case '{':
+		return fp.parseFlowMap()
+	case '"', '\'':
+		val, rest, err := unquote(fp.text[fp.pos:], fp.line)
+		if err != nil {
+			return nil, err
+		}
+		fp.pos = len(fp.text) - len(rest)
+		return &node{kind: scalarNode, line: fp.line, scalar: val, quoted: true}, nil
+	default:
+		start := fp.pos
+		for fp.pos < len(fp.text) && !strings.ContainsRune(",]}:", rune(fp.text[fp.pos])) {
+			fp.pos++
+		}
+		// Allow ':' inside plain flow scalars when not followed by space
+		// (e.g. URLs); a "k: v" pair is handled by parseFlowMap instead.
+		return &node{kind: scalarNode, line: fp.line, scalar: strings.TrimSpace(fp.text[start:fp.pos])}, nil
+	}
+}
+
+func (fp *flowParser) parseFlowSeq() (*node, error) {
+	n := &node{kind: seqNode, line: fp.line}
+	fp.pos++ // consume '['
+	fp.depth++
+	defer func() { fp.depth-- }()
+	fp.skipSpace()
+	if fp.pos < len(fp.text) && fp.text[fp.pos] == ']' {
+		fp.pos++
+		return n, nil
+	}
+	for {
+		item, err := fp.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+		fp.skipSpace()
+		if fp.pos >= len(fp.text) {
+			return nil, parseErrf(fp.line, "unterminated flow sequence")
+		}
+		switch fp.text[fp.pos] {
+		case ',':
+			fp.pos++
+		case ']':
+			fp.pos++
+			return n, nil
+		default:
+			return nil, parseErrf(fp.line, "expected ',' or ']' in flow sequence, got %q", fp.text[fp.pos:])
+		}
+	}
+}
+
+func (fp *flowParser) parseFlowMap() (*node, error) {
+	n := &node{kind: mapNode, line: fp.line, vals: make(map[string]*node)}
+	fp.pos++ // consume '{'
+	fp.depth++
+	defer func() { fp.depth-- }()
+	fp.skipSpace()
+	if fp.pos < len(fp.text) && fp.text[fp.pos] == '}' {
+		fp.pos++
+		return n, nil
+	}
+	for {
+		fp.skipSpace()
+		keyNode, err := fp.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if keyNode.kind != scalarNode {
+			return nil, parseErrf(fp.line, "flow mapping key must be a scalar")
+		}
+		key := keyNode.scalar
+		if key == "" {
+			return nil, parseErrf(fp.line, "empty flow mapping key")
+		}
+		fp.skipSpace()
+		if fp.pos >= len(fp.text) || fp.text[fp.pos] != ':' {
+			return nil, parseErrf(fp.line, "expected ':' after flow mapping key %q", key)
+		}
+		fp.pos++
+		val, err := fp.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.vals[key]; dup {
+			return nil, parseErrf(fp.line, "duplicate mapping key %q", key)
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = val
+		fp.skipSpace()
+		if fp.pos >= len(fp.text) {
+			return nil, parseErrf(fp.line, "unterminated flow mapping")
+		}
+		switch fp.text[fp.pos] {
+		case ',':
+			fp.pos++
+		case '}':
+			fp.pos++
+			return n, nil
+		default:
+			return nil, parseErrf(fp.line, "expected ',' or '}' in flow mapping, got %q", fp.text[fp.pos:])
+		}
+	}
+}

@@ -103,6 +103,21 @@ func (ing *Ingestor) Cursor() int64 {
 	return ing.cursor
 }
 
+// SetCursor advances the cursor to t: samples at or before t will never
+// be delivered. Call it before the first Ingest when collection starts
+// mid-history (e.g. at the current wall-clock time) — the cursor starts
+// at 0, and Ingest scans every primary step since the cursor, so an
+// un-primed ingestor pays one fetch row per step since the epoch. A t
+// at or before the current cursor is a no-op (the cursor never moves
+// backwards, preserving the no-replay guarantee).
+func (ing *Ingestor) SetCursor(t int64) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if t > ing.cursor {
+		ing.cursor = t
+	}
+}
+
 // Ingest drains samples in (Cursor(), to] from every bound metric on its
 // primary step, groups them by sample time across bindings, and feeds the
 // sink one batch per distinct time, oldest first. Unknown (NaN) samples

@@ -1,0 +1,172 @@
+package scenario
+
+import "testing"
+
+// TestKeyCanonicalization pins the dedup contract table-wise: mutation
+// lists that describe the same hypothetical network resolve to one
+// canonical Key (sharing a derived epoch in the evaluate layer), and
+// lists that differ in any epoch-affecting way never collide.
+func TestKeyCanonicalization(t *testing.T) {
+	base := testSnapshot(t)
+	key := func(t *testing.T, muts []Mutation) string {
+		t.Helper()
+		r, err := (&Scenario{Name: "k", Mutations: muts}).Resolve(base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Key()
+	}
+
+	equivalent := []struct {
+		name string
+		a, b []Mutation
+	}{
+		{
+			name: "scale vs set to the same value",
+			a:    []Mutation{{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5}},
+			b:    []Mutation{{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(5e7)}},
+		},
+		{
+			name: "two composed scalings vs one",
+			a: []Mutation{
+				{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5},
+				{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5},
+			},
+			b: []Mutation{{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.25}},
+		},
+		{
+			name: "set then scale vs direct set",
+			a: []Mutation{
+				{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(2e8)},
+				{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5},
+			},
+			b: []Mutation{{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(1e8)}},
+		},
+		{
+			name: "touch order across distinct links",
+			a: []Mutation{
+				{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5},
+				{Op: OpSetLink, Link: "b_nic", Latency: f64(5e-3)},
+			},
+			b: []Mutation{
+				{Op: OpSetLink, Link: "b_nic", Latency: f64(5e-3)},
+				{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5},
+			},
+		},
+		{
+			name: "repeated fail_link is idempotent",
+			a:    []Mutation{{Op: OpFailLink, Link: "a_nic"}, {Op: OpFailLink, Link: "a_nic"}},
+			b:    []Mutation{{Op: OpFailLink, Link: "a_nic"}},
+		},
+		{
+			name: "degrade then fail collapses to fail",
+			a: []Mutation{
+				{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5},
+				{Op: OpFailLink, Link: "a_nic"},
+			},
+			b: []Mutation{{Op: OpFailLink, Link: "a_nic"}},
+		},
+		{
+			name: "repeated fail_host is idempotent",
+			a:    []Mutation{{Op: OpFailHost, Host: "a"}, {Op: OpFailHost, Host: "a"}},
+			b:    []Mutation{{Op: OpFailHost, Host: "a"}},
+		},
+		{
+			name: "overwritten intermediate state is invisible",
+			a: []Mutation{
+				{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(3e7)},
+				{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(7e7)},
+			},
+			b: []Mutation{{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(7e7)}},
+		},
+		{
+			name: "background traffic does not reach the key",
+			a: []Mutation{
+				{Op: OpFailLink, Link: "b_nic"},
+				{Op: OpBgTraffic, Src: "a", Dst: "b", Flows: 3},
+			},
+			b: []Mutation{{Op: OpFailLink, Link: "b_nic"}},
+		},
+		{
+			name: "at_time does not reach the key",
+			a: []Mutation{
+				{Op: OpFailLink, Link: "b_nic"},
+				{Op: OpAtTime, Time: 99999},
+			},
+			b: []Mutation{{Op: OpFailLink, Link: "b_nic"}},
+		},
+	}
+	for _, tc := range equivalent {
+		t.Run("equivalent/"+tc.name, func(t *testing.T) {
+			ka, kb := key(t, tc.a), key(t, tc.b)
+			if ka != kb {
+				t.Errorf("equivalent phrasings keyed differently:\n a=%q\n b=%q", ka, kb)
+			}
+		})
+	}
+
+	distinct := []struct {
+		name string
+		a, b []Mutation
+	}{
+		{
+			name: "different values",
+			a:    []Mutation{{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(5e7)}},
+			b:    []Mutation{{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(6e7)}},
+		},
+		{
+			name: "different links, same value",
+			a:    []Mutation{{Op: OpSetLink, Link: "a_nic", Bandwidth: f64(5e7)}},
+			b:    []Mutation{{Op: OpSetLink, Link: "b_nic", Bandwidth: f64(5e7)}},
+		},
+		{
+			name: "bandwidth vs latency on one link",
+			a:    []Mutation{{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 2}},
+			b:    []Mutation{{Op: OpScaleLink, Link: "a_nic", LatencyFactor: 2}},
+		},
+		{
+			name: "link failure vs host failure",
+			a:    []Mutation{{Op: OpFailLink, Link: "a_nic"}},
+			b:    []Mutation{{Op: OpFailHost, Host: "a"}},
+		},
+		{
+			name: "overlay vs empty",
+			a:    []Mutation{{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 0.5}},
+			b:    nil,
+		},
+	}
+	for _, tc := range distinct {
+		t.Run("distinct/"+tc.name, func(t *testing.T) {
+			ka, kb := key(t, tc.a), key(t, tc.b)
+			if ka == kb {
+				t.Errorf("distinct hypotheticals share key %q", ka)
+			}
+		})
+	}
+}
+
+// TestKeyStableAcrossResolves: resolving the same scenario twice (even
+// through fresh Resolved values) yields the identical key — the overlay
+// cache's correctness hinges on it.
+func TestKeyStableAcrossResolves(t *testing.T) {
+	base := testSnapshot(t)
+	sc := Scenario{Name: "s", Mutations: []Mutation{
+		{Op: OpScaleLink, Link: "a_nic", BandwidthFactor: 1.0 / 3.0},
+		{Op: OpSetLink, Link: "b_nic", Latency: f64(7e-3)},
+		{Op: OpFailHost, Host: "b"},
+	}}
+	r1, err := sc.Resolve(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sc.Resolve(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Key() != r2.Key() {
+		t.Errorf("same scenario resolved to different keys:\n%q\n%q", r1.Key(), r2.Key())
+	}
+	if r1.Key() == "" {
+		t.Error("non-empty overlay produced an empty key")
+	}
+}
