@@ -10,7 +10,7 @@ SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 # overlay/batched-evaluation claims.
 KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon|BenchmarkApplyOverlay|BenchmarkEvaluate30x8
 
-.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline campaign-check clean
+.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline campaign-check recovery-check clean
 
 all: vet build test
 
@@ -24,7 +24,16 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/pilgrim/... ./internal/sim/... ./internal/flow/... ./internal/campaign/...
+	go test -race ./internal/pilgrim/... ./internal/sim/... ./internal/flow/... ./internal/campaign/... ./internal/store/...
+
+# recovery-check is the durability gate: WAL framing/torn-tail/corruption
+# fault injection, registry warm-restart byte-identity (with and without
+# a clean close, across compaction, under concurrent ingest), and the
+# campaign-level restart drill (docs/OPERATIONS.md).
+recovery-check:
+	go test -count 1 ./internal/store/...
+	go test -count 1 ./internal/pilgrim -run 'TestRegistryWarmRestart|TestRegistryRecoveryWithoutClose|TestRegistryRefusesForeignDataDir|TestRegistryConcurrentIngestAndCompaction'
+	go test -count 1 ./internal/campaign -run 'TestCrashRecoveryDrill'
 
 # campaign-check is the CI drill gate: every example campaign must
 # validate (names resolve against the generated platform), the smoke
@@ -34,7 +43,7 @@ race:
 campaign-check:
 	go run ./cmd/pilgrimsim validate examples/campaigns/*.yaml
 	go run ./cmd/pilgrimsim run examples/campaigns/smoke.yaml
-	go test ./internal/campaign -run 'TestExampleCampaignsGolden|TestReplayConcurrentWithIngestAndHTTP'
+	go test ./internal/campaign -run 'TestExampleCampaignsGolden|TestReplayConcurrentWithIngestAndHTTP|TestCrashRecoveryDrill'
 
 # bench runs the key benchmarks with -benchmem and writes BENCH_$(SHA).json
 # (ns/op + B/op + allocs/op per benchmark) next to the raw output.

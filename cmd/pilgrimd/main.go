@@ -8,6 +8,9 @@
 //	         [-forecast-cache N] [-forecast-workers N]
 //	         [-timeline-depth N] [-forecast-horizon-max D]
 //	         [-max-scenarios N] [-max-evaluate-fanout N]
+//	         [-data-dir DIR] [-fsync POLICY] [-snapshot-every N]
+//	         [-max-inflight N] [-max-queue N] [-max-body-bytes N]
+//	         [-drain-timeout D]
 //
 // Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
 // reference description — fetched from a reference API server when
@@ -23,14 +26,28 @@
 // served with -rrd-tree. Batched what-if evaluation
 // (POST /pilgrim/evaluate/{platform}: N scenarios × M queries) is bounded
 // by -max-scenarios and -max-evaluate-fanout.
+//
+// With -data-dir the registry is durable: every accepted observation,
+// background estimate, and rejected batch is written to a CRC-checked
+// write-ahead log before being applied (fsync cadence per -fsync,
+// snapshot compaction every -snapshot-every records), and a restart
+// recovers the timelines byte-identically — same epoch ids, same stats,
+// same forecasts. See docs/OPERATIONS.md.
+//
+// -max-inflight/-max-queue bound the simulation endpoints: beyond the
+// queue, requests are shed with 429 + Retry-After. SIGTERM/SIGINT drain
+// gracefully: the listener closes, in-flight requests get -drain-timeout
+// to finish, and the durable store is flushed and closed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pilgrim/internal/g5k"
@@ -38,48 +55,99 @@ import (
 	"pilgrim/internal/pilgrim"
 	"pilgrim/internal/platgen"
 	"pilgrim/internal/sim"
+	"pilgrim/internal/store"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	g5kAPI := flag.String("g5k-api", "", "base URL of a Grid'5000 reference API server (default: embedded dataset)")
-	rrdTree := flag.String("rrd-tree", "", "directory of RRD files to serve through the metrology service")
-	gammaLat := flag.Bool("gamma-latfactor", false, "apply the latency correction factor inside the TCP window bound (reproduces the paper's worked example)")
-	equipLimits := flag.Bool("equipment-limits", false, "model network equipment backplane limits (future-work extension)")
-	measuredLat := flag.Bool("measured-latencies", false, "use measured backbone latencies instead of the hardcoded 2.25e-3 s (future-work extension)")
-	cacheSize := flag.Int("forecast-cache", pilgrim.DefaultForecastCacheSize, "forecast cache capacity in distinct queries (0 disables caching)")
-	workers := flag.Int("forecast-workers", pilgrim.DefaultForecastWorkers, "concurrent hypothesis simulations for select_fastest (1 = sequential)")
-	tlDepth := flag.Int("timeline-depth", pilgrim.DefaultTimelineDepth, "link-state observations retained per platform timeline")
-	horizon := flag.Duration("forecast-horizon-max", pilgrim.DefaultForecastHorizon, "how far past the newest observation at= queries may extrapolate (beyond: HTTP 400)")
-	maxScenarios := flag.Int("max-scenarios", pilgrim.DefaultMaxScenarios, "scenarios accepted per evaluate request")
-	maxFanout := flag.Int("max-evaluate-fanout", pilgrim.DefaultMaxEvaluateCells, "scenario×query cells accepted per evaluate request")
-	flag.Parse()
+// options carries the parsed command line into run.
+type options struct {
+	addr    string
+	g5kAPI  string
+	rrdTree string
 
-	if *tlDepth < 1 {
+	gammaLat    bool
+	equipLimits bool
+	measuredLat bool
+
+	cacheSize    int
+	workers      int
+	tlDepth      int
+	horizon      time.Duration
+	maxScenarios int
+	maxFanout    int
+
+	dataDir       string
+	fsync         store.FsyncPolicy
+	snapshotEvery int
+
+	maxInflight  int
+	maxQueue     int
+	maxBodyBytes int64
+	drainTimeout time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.g5kAPI, "g5k-api", "", "base URL of a Grid'5000 reference API server (default: embedded dataset)")
+	flag.StringVar(&o.rrdTree, "rrd-tree", "", "directory of RRD files to serve through the metrology service")
+	flag.BoolVar(&o.gammaLat, "gamma-latfactor", false, "apply the latency correction factor inside the TCP window bound (reproduces the paper's worked example)")
+	flag.BoolVar(&o.equipLimits, "equipment-limits", false, "model network equipment backplane limits (future-work extension)")
+	flag.BoolVar(&o.measuredLat, "measured-latencies", false, "use measured backbone latencies instead of the hardcoded 2.25e-3 s (future-work extension)")
+	flag.IntVar(&o.cacheSize, "forecast-cache", pilgrim.DefaultForecastCacheSize, "forecast cache capacity in distinct queries (0 disables caching)")
+	flag.IntVar(&o.workers, "forecast-workers", pilgrim.DefaultForecastWorkers, "concurrent hypothesis simulations for select_fastest (1 = sequential)")
+	flag.IntVar(&o.tlDepth, "timeline-depth", pilgrim.DefaultTimelineDepth, "link-state observations retained per platform timeline")
+	flag.DurationVar(&o.horizon, "forecast-horizon-max", pilgrim.DefaultForecastHorizon, "how far past the newest observation at= queries may extrapolate (beyond: HTTP 400)")
+	flag.IntVar(&o.maxScenarios, "max-scenarios", pilgrim.DefaultMaxScenarios, "scenarios accepted per evaluate request")
+	flag.IntVar(&o.maxFanout, "max-evaluate-fanout", pilgrim.DefaultMaxEvaluateCells, "scenario×query cells accepted per evaluate request")
+	dataDir := flag.String("data-dir", "", "directory for the durable registry store (empty: in-memory only, state lost on restart)")
+	fsyncStr := flag.String("fsync", "interval", "WAL durability policy: always (fsync per record), interval (background fsync), never (OS page cache only)")
+	flag.IntVar(&o.snapshotEvery, "snapshot-every", store.DefaultCompactEvery, "WAL records between snapshot compactions")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "concurrent simulation requests admitted (0 = unlimited)")
+	flag.IntVar(&o.maxQueue, "max-queue", 64, "simulation requests allowed to wait for admission before shedding with 429 (-1 = unbounded)")
+	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", pilgrim.DefaultMaxBodyBytes, "request-body cap on body-carrying endpoints (oversized: HTTP 413)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", pilgrim.DefaultDrainTimeout, "grace period for in-flight requests on SIGTERM/SIGINT")
+	flag.Parse()
+	o.dataDir = *dataDir
+
+	if o.tlDepth < 1 {
 		fmt.Fprintln(os.Stderr, "pilgrimd: -timeline-depth must be >= 1")
 		os.Exit(2)
 	}
-	if *horizon < time.Second {
+	if o.horizon < time.Second {
 		fmt.Fprintln(os.Stderr, "pilgrimd: -forecast-horizon-max must be >= 1s")
 		os.Exit(2)
 	}
-	if *maxScenarios < 1 || *maxFanout < 1 {
+	if o.maxScenarios < 1 || o.maxFanout < 1 {
 		fmt.Fprintln(os.Stderr, "pilgrimd: -max-scenarios and -max-evaluate-fanout must be >= 1")
 		os.Exit(2)
 	}
+	if o.snapshotEvery < 1 {
+		fmt.Fprintln(os.Stderr, "pilgrimd: -snapshot-every must be >= 1")
+		os.Exit(2)
+	}
+	if o.maxBodyBytes < 1 {
+		fmt.Fprintln(os.Stderr, "pilgrimd: -max-body-bytes must be >= 1")
+		os.Exit(2)
+	}
+	policy, err := store.ParseFsyncPolicy(*fsyncStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilgrimd:", err)
+		os.Exit(2)
+	}
+	o.fsync = policy
 
-	if err := run(*addr, *g5kAPI, *rrdTree, *gammaLat, *equipLimits, *measuredLat,
-		*cacheSize, *workers, *tlDepth, *horizon, *maxScenarios, *maxFanout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "pilgrimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool,
-	cacheSize, workers, tlDepth int, horizon time.Duration, maxScenarios, maxFanout int) error {
+func run(ctx context.Context, o options) error {
 	ref := g5k.Default()
-	if g5kAPI != "" {
-		fetched, err := g5k.Fetch(nil, g5kAPI)
+	if o.g5kAPI != "" {
+		fetched, err := g5k.Fetch(nil, o.g5kAPI)
 		if err != nil {
 			return fmt.Errorf("fetching reference API: %w", err)
 		}
@@ -87,16 +155,36 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool,
 	}
 
 	cfg := sim.DefaultConfig()
-	cfg.GammaUsesLatencyFactor = gammaLat
+	cfg.GammaUsesLatencyFactor = o.gammaLat
 
 	registry := pilgrim.NewRegistry()
-	registry.SetTimelineDepth(tlDepth)
-	registry.SetForecastHorizon(horizon)
+	registry.SetTimelineDepth(o.tlDepth)
+	registry.SetForecastHorizon(o.horizon)
+
+	if o.dataDir != "" {
+		w, recovered, err := store.Open(store.Options{
+			Dir:          o.dataDir,
+			Fsync:        o.fsync,
+			CompactEvery: o.snapshotEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data directory: %w", err)
+		}
+		if err := registry.SetStorage(w, recovered); err != nil {
+			w.Close()
+			return err
+		}
+		log.Printf("durable store %s: fsync %s, snapshot every %d records; recovered %d platforms, %d log records (%d skipped, %d torn bytes truncated)",
+			o.dataDir, o.fsync, o.snapshotEvery, len(recovered.Platforms),
+			w.Stats().RecoveredRecords, recovered.Skipped, recovered.TruncatedBytes)
+	}
+	defer registry.Close()
+
 	for _, variant := range []platgen.Variant{platgen.G5KTest, platgen.G5KCabinets} {
 		plat, err := platgen.Generate(ref, platgen.Options{
 			Variant:              variant,
-			EquipmentLimits:      equipLimits,
-			UseMeasuredLatencies: measuredLat,
+			EquipmentLimits:      o.equipLimits,
+			UseMeasuredLatencies: o.measuredLat,
 		})
 		if err != nil {
 			return fmt.Errorf("generating %s: %w", variant, err)
@@ -107,26 +195,44 @@ func run(addr, g5kAPI, rrdTree string, gammaLat, equipLimits, measuredLat bool,
 		log.Printf("registered platform %s: %d hosts, %d links (epoch %d)",
 			variant, plat.NumHosts(), plat.NumLinks(), plat.Snapshot().Epoch())
 	}
+	if pending := registry.PendingRecoveries(); len(pending) > 0 {
+		log.Printf("warning: data directory holds state for unregistered platforms %v (dropped at the next compaction)", pending)
+	}
 
 	var metrics *metrology.Registry
-	if rrdTree != "" {
-		loaded, err := metrology.LoadTree(rrdTree)
+	if o.rrdTree != "" {
+		loaded, err := metrology.LoadTree(o.rrdTree)
 		if err != nil {
 			return fmt.Errorf("loading RRD tree: %w", err)
 		}
 		metrics = loaded
-		log.Printf("serving %d metrics from %s", len(metrics.Paths()), rrdTree)
+		log.Printf("serving %d metrics from %s", len(metrics.Paths()), o.rrdTree)
 	}
 
 	server := pilgrim.NewServer(registry, metrics)
-	if cacheSize != pilgrim.DefaultForecastCacheSize {
-		server.SetForecastCache(cacheSize)
+	if o.cacheSize != pilgrim.DefaultForecastCacheSize {
+		server.SetForecastCache(o.cacheSize)
 	}
-	if workers != pilgrim.DefaultForecastWorkers {
-		server.SetForecastWorkers(workers)
+	if o.workers != pilgrim.DefaultForecastWorkers {
+		server.SetForecastWorkers(o.workers)
 	}
-	server.SetEvaluateLimits(maxScenarios, maxFanout)
-	log.Printf("pilgrimd listening on %s (forecast cache: %d entries, %d forecast workers, timeline depth %d, horizon cap %s, evaluate limits %d scenarios / %d cells)",
-		addr, cacheSize, workers, tlDepth, horizon, maxScenarios, maxFanout)
-	return http.ListenAndServe(addr, server)
+	server.SetEvaluateLimits(o.maxScenarios, o.maxFanout)
+	server.SetAdmission(o.maxInflight, o.maxQueue, 0)
+	server.SetMaxBodyBytes(o.maxBodyBytes)
+
+	admission := "unlimited"
+	if o.maxInflight > 0 {
+		admission = fmt.Sprintf("%d in flight / %d queued", o.maxInflight, o.maxQueue)
+	}
+	log.Printf("pilgrimd listening on %s (forecast cache: %d entries, %d forecast workers, timeline depth %d, horizon cap %s, evaluate limits %d scenarios / %d cells, admission %s)",
+		o.addr, o.cacheSize, o.workers, o.tlDepth, o.horizon, o.maxScenarios, o.maxFanout, admission)
+
+	err := pilgrim.Serve(ctx, o.addr, server, pilgrim.ServeOptions{DrainTimeout: o.drainTimeout})
+	if ctx.Err() != nil {
+		log.Printf("shutdown: drained in-flight requests, closing store")
+	}
+	if cerr := registry.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

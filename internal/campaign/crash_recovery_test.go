@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/store"
+)
+
+// TestCrashRecoveryDrill is the restart drill: replay the recovery
+// campaign against a WAL-backed registry, "kill" the process (no Close),
+// recover from the data directory, and replay only the steps. Every
+// step report and the timeline stats must come back byte-identical —
+// the campaign-level statement of the warm-restart contract.
+func TestCrashRecoveryDrill(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "recovery.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c.Platform.PlatformName()
+	dir := t.TempDir()
+
+	w, rec, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := BuildDurableRegistry(c.Platform, w, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(c, NewInProcessBackend(reg, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summary.Passed {
+		t.Fatalf("recovery drill fails before any crash: %d/%d assertions failed",
+			rep.Summary.FailedAssertions, rep.Summary.Assertions)
+	}
+	wantSteps, err := json.Marshal(rep.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := reg.TimelineStats(name)
+	if !ok {
+		t.Fatal("platform missing")
+	}
+	wantStats, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No reg.Close(): the process dies here. FsyncAlways put every
+	// acknowledged record on disk.
+
+	w2, rec2, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := BuildDurableRegistry(c.Platform, w2, rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	st2, ok := reg2.TimelineStats(name)
+	if !ok {
+		t.Fatal("platform missing after recovery")
+	}
+	gotStats, err := json.Marshal(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotStats, wantStats) {
+		t.Fatalf("timeline_stats diverge across the crash:\n  before: %s\n  after:  %s", wantStats, gotStats)
+	}
+
+	rep2, err := ReplaySteps(c, NewInProcessBackend(reg2, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSteps, err := json.Marshal(rep2.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSteps, wantSteps) {
+		t.Fatalf("step reports diverge across the crash:\n  before: %s\n  after:  %s", wantSteps, gotSteps)
+	}
+
+	// The steps-only replay must not have re-observed: every observe
+	// event reports as skipped, and the timeline grew by nothing.
+	for _, e := range rep2.Events {
+		if e.Action == ActionObserve && !strings.Contains(e.Detail, "skipped") {
+			t.Fatalf("observe event re-applied in steps-only replay: %q", e.Detail)
+		}
+	}
+	st3, _ := reg2.TimelineStats(name)
+	if st3.Appends != st.Appends {
+		t.Fatalf("steps-only replay appended observations: %d, want %d", st3.Appends, st.Appends)
+	}
+}
+
+// TestReplayStepsMatchesFullReplayOnSharedTimeline checks ReplaySteps
+// equals Replay's step answers on an in-memory registry too: feed the
+// events through a full replay, then steps-only on the same registry.
+func TestReplayStepsMatchesFullReplayOnSharedTimeline(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "recovery.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := BuildRegistry(c.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c.Platform.PlatformName()
+	rep, err := Replay(c, NewInProcessBackend(reg, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := ReplaySteps(c, NewInProcessBackend(reg, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(rep.Steps)
+	got, _ := json.Marshal(rep2.Steps)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("steps-only replay diverges on a shared timeline:\n  full:  %s\n  steps: %s", want, got)
+	}
+}
+
+// Interface check: *store.WAL satisfies the registry's Storage port the
+// campaign drill plugs in.
+var _ pilgrim.Storage = (*store.WAL)(nil)

@@ -47,7 +47,7 @@ func replayExample(t *testing.T, name string) (rep *Report, jsonOut, csvOut []by
 // any drift in simulation results, assertion wording, or serialization
 // shows up here first. Regenerate with UPDATE_CAMPAIGN_GOLDEN=1.
 func TestExampleCampaignsGolden(t *testing.T) {
-	for _, name := range []string{"smoke", "link_degradation", "router_failure"} {
+	for _, name := range []string{"smoke", "link_degradation", "router_failure", "recovery"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			rep, json1, csv1 := replayExample(t, name)

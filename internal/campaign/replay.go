@@ -124,6 +124,23 @@ func (b *RemoteBackend) Snapshot() *platform.Snapshot { return nil }
 // failure) aborts the replay; assertion failures never do — they are
 // the report's verdicts.
 func Replay(c *Campaign, b Backend) (*Report, error) {
+	return replay(c, b, false)
+}
+
+// ReplaySteps re-evaluates the campaign's steps over a timeline that
+// already holds its observations — the restart drill: after a crash, the
+// durable store recovers every observe event, so replaying the same
+// campaign steps-only against the recovered registry must reproduce each
+// step report byte-identically (same epochs pinned at each instant, same
+// forecasts, same assertion verdicts). Observe events are skipped (their
+// report lines say so); non-observe events — failed links and hosts,
+// background traffic — are campaign-local world state the store does not
+// hold, and are re-applied.
+func ReplaySteps(c *Campaign, b Backend) (*Report, error) {
+	return replay(c, b, true)
+}
+
+func replay(c *Campaign, b Backend, stepsOnly bool) (*Report, error) {
 	rep := &Report{
 		Campaign:    c.Name,
 		Description: c.Description,
@@ -142,6 +159,11 @@ func Replay(c *Campaign, b Backend) (*Report, error) {
 		if ei < len(c.Events) && (si >= len(c.Steps) || c.Events[ei].At <= c.Steps[si].At) {
 			e := &c.Events[ei]
 			ei++
+			if stepsOnly && e.Action == ActionObserve {
+				rep.Events = append(rep.Events, EventReport{At: e.At, Action: e.Action,
+					Detail: fmt.Sprintf("skipped %d links (already in the recovered timeline)", len(e.Links))})
+				continue
+			}
 			detail, err := applyEvent(c, e, b, &world)
 			if err != nil {
 				return nil, fmt.Errorf("campaign %q: event %d at t=%ds: %w", c.Name, ei-1, e.At, err)

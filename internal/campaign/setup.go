@@ -7,6 +7,7 @@ import (
 	"pilgrim/internal/pilgrim"
 	"pilgrim/internal/platgen"
 	"pilgrim/internal/sim"
+	"pilgrim/internal/store"
 )
 
 // GenerateVariants maps the campaign `generate:` values to a reference
@@ -19,6 +20,15 @@ var GenerateVariants = []string{"g5k_test", "g5k_cabinets", "g5k_mini"}
 // name, ready for an InProcessBackend. Campaigns that only name a
 // platform (remote replay) cannot be built in-process.
 func BuildRegistry(ref PlatformRef) (*pilgrim.Registry, error) {
+	return BuildDurableRegistry(ref, nil, nil)
+}
+
+// BuildDurableRegistry is BuildRegistry over a durable store: the
+// storage (and the state recovered from it) is installed before the
+// platform registers, so a restarted drill resumes the campaign's
+// timeline instead of starting fresh. A nil storage builds the ordinary
+// in-memory registry.
+func BuildDurableRegistry(ref PlatformRef, s pilgrim.Storage, recovered *store.RecoveredState) (*pilgrim.Registry, error) {
 	if ref.Generate == "" {
 		return nil, fmt.Errorf("campaign: platform has no generate: variant (in-process replay needs one; use -server for a remote platform)")
 	}
@@ -46,6 +56,11 @@ func BuildRegistry(ref PlatformRef) (*pilgrim.Registry, error) {
 	cfg := sim.DefaultConfig()
 	cfg.GammaUsesLatencyFactor = ref.GammaLatFactor
 	registry := pilgrim.NewRegistry()
+	if s != nil {
+		if err := registry.SetStorage(s, recovered); err != nil {
+			return nil, err
+		}
+	}
 	if err := registry.Add(ref.PlatformName(), pilgrim.PlatformEntry{Platform: plat, Config: cfg}); err != nil {
 		return nil, err
 	}

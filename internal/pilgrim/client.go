@@ -1,16 +1,43 @@
 package pilgrim
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"pilgrim/internal/workflow"
 )
+
+// Client request defaults: every call is bounded (a hung server must not
+// hang the scheduler embedding this client), and transient failures —
+// connection errors, 429 shedding, 5xx — are retried with exponential
+// backoff and jitter, honoring the server's Retry-After hint.
+const (
+	DefaultClientTimeout  = 30 * time.Second
+	DefaultRetryAttempts  = 4
+	DefaultRetryBaseDelay = 100 * time.Millisecond
+	DefaultRetryMaxDelay  = 5 * time.Second
+)
+
+// RetryPolicy configures the client's backoff. Zero values select the
+// package defaults; MaxAttempts 1 disables retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay. The actual sleep is jittered
+	// uniformly over [delay/2, delay) so a fleet of shed clients does not
+	// return in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
 
 // Client is a typed HTTP client for a remote Pilgrim instance; it is what
 // a resource management system embeds to take scheduling decisions
@@ -18,8 +45,14 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTP is the underlying client; nil means http.DefaultClient.
+	// HTTP is the underlying client; nil means a client bounded by
+	// Timeout.
 	HTTP *http.Client
+	// Timeout bounds each attempt when HTTP is nil (0 selects
+	// DefaultClientTimeout, negative disables the bound).
+	Timeout time.Duration
+	// Retry is the transient-failure policy (zero value: defaults).
+	Retry RetryPolicy
 }
 
 // NewClient returns a client for the given base URL.
@@ -31,27 +64,112 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	t := c.Timeout
+	if t == 0 {
+		t = DefaultClientTimeout
+	}
+	if t < 0 {
+		t = 0
+	}
+	return &http.Client{Timeout: t}
 }
 
-func (c *Client) getJSON(path string, query url.Values, out interface{}) error {
+// retryableStatus reports whether the answer signals a transient
+// condition worth backing off on: admission shedding and server-side
+// failures. 4xx request-shape problems are permanent and returned as-is.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoffDelay is the jittered exponential delay before retry number
+// attempt (1-based). A positive retryAfter (the server's Retry-After
+// hint) takes precedence over the computed floor.
+func (p RetryPolicy) backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultRetryBaseDelay
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = DefaultRetryMaxDelay
+	}
+	d := base << (attempt - 1)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	// Uniform jitter over [d/2, d).
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// doJSON performs one API call with the retry policy: body (nil for GET)
+// is replayed on each attempt, transient failures back off, and the
+// 200 answer is decoded into out.
+func (c *Client) doJSON(method, path string, query url.Values, body []byte, out interface{}) error {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	resp, err := c.httpClient().Get(u)
-	if err != nil {
-		return fmt.Errorf("pilgrim: GET %s: %w", path, err)
+	attempts := c.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultRetryAttempts
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("pilgrim: GET %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+	var lastErr error
+	var retryAfter time.Duration
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(c.Retry.backoffDelay(attempt-1, retryAfter))
+			retryAfter = 0
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, u, rd)
+		if err != nil {
+			return fmt.Errorf("pilgrim: %s %s: %w", method, path, err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("pilgrim: %s %s: %w", method, path, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("pilgrim: %s %s: decoding answer: %w", method, path, err)
+			}
+			return nil
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		lastErr = fmt.Errorf("pilgrim: %s %s: HTTP %d: %s",
+			method, path, resp.StatusCode, strings.TrimSpace(string(msg)))
+		if !retryableStatus(resp.StatusCode) {
+			return lastErr
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("pilgrim: GET %s: decoding answer: %w", path, err)
-	}
-	return nil
+	return lastErr
+}
+
+func (c *Client) getJSON(path string, query url.Values, out interface{}) error {
+	return c.doJSON(http.MethodGet, path, query, nil, out)
 }
 
 // Platforms lists the platforms the server can predict on.
@@ -140,20 +258,9 @@ func (c *Client) UpdateLinks(platform string, req UpdateLinksRequest) (UpdateLin
 	if err != nil {
 		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: encoding link updates: %w", err)
 	}
-	u := c.BaseURL + "/pilgrim/update_links/" + url.PathEscape(platform)
-	resp, err := c.httpClient().Post(u, "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: POST update_links: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: POST update_links: HTTP %d: %s",
-			resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
 	var out UpdateLinksResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return UpdateLinksResponse{}, fmt.Errorf("pilgrim: decoding update_links answer: %w", err)
+	if err := c.doJSON(http.MethodPost, "/pilgrim/update_links/"+url.PathEscape(platform), nil, body, &out); err != nil {
+		return UpdateLinksResponse{}, err
 	}
 	return out, nil
 }
@@ -177,20 +284,9 @@ func (c *Client) Evaluate(platform string, req EvaluateRequest) (*EvaluateRespon
 	if err != nil {
 		return nil, fmt.Errorf("pilgrim: encoding evaluate request: %w", err)
 	}
-	u := c.BaseURL + "/pilgrim/evaluate/" + url.PathEscape(platform)
-	resp, err := c.httpClient().Post(u, "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return nil, fmt.Errorf("pilgrim: POST evaluate: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("pilgrim: POST evaluate: HTTP %d: %s",
-			resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
 	var out EvaluateResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("pilgrim: decoding evaluate answer: %w", err)
+	if err := c.doJSON(http.MethodPost, "/pilgrim/evaluate/"+url.PathEscape(platform), nil, body, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }
@@ -212,20 +308,9 @@ func (c *Client) PredictWorkflow(platform string, wf *workflow.Workflow) (*workf
 	if err != nil {
 		return nil, fmt.Errorf("pilgrim: encoding workflow: %w", err)
 	}
-	u := c.BaseURL + "/pilgrim/predict_workflow/" + url.PathEscape(platform)
-	resp, err := c.httpClient().Post(u, "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return nil, fmt.Errorf("pilgrim: POST predict_workflow: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("pilgrim: POST predict_workflow: HTTP %d: %s",
-			resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
 	var out workflow.Forecast
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("pilgrim: decoding forecast: %w", err)
+	if err := c.doJSON(http.MethodPost, "/pilgrim/predict_workflow/"+url.PathEscape(platform), nil, body, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }

@@ -1,0 +1,168 @@
+package pilgrim
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers each request with the next status in script
+// (the final entry repeats), recording the attempt count.
+func scriptedServer(t *testing.T, script []int, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n >= len(script) {
+			n = len(script) - 1
+		}
+		status := script[n]
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "0")
+		}
+		w.WriteHeader(status)
+		if status == http.StatusOK {
+			w.Write([]byte(body))
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+
+// TestClientRetriesShedding checks a 429/503-then-200 sequence succeeds
+// transparently: the backoff absorbs the transient answers.
+func TestClientRetriesShedding(t *testing.T) {
+	srv, calls := scriptedServer(t, []int{429, 503, 200}, `["g5k_test"]`)
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	names, err := c.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "g5k_test" {
+		t.Fatalf("platforms %v", names)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3", got)
+	}
+}
+
+// TestClientGivesUpAfterMaxAttempts checks a persistently overloaded
+// server exhausts the budget and surfaces the last HTTP error.
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	srv, calls := scriptedServer(t, []int{429}, "")
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	_, err := c.Platforms()
+	if err == nil || !strings.Contains(err.Error(), "HTTP 429") {
+		t.Fatalf("err = %v, want HTTP 429", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("%d attempts, want 4 (MaxAttempts)", got)
+	}
+}
+
+// TestClientDoesNotRetryPermanentErrors checks 4xx request-shape answers
+// return immediately: retrying a 400 cannot help.
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	srv, calls := scriptedServer(t, []int{400}, "")
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	if _, err := c.Platforms(); err == nil {
+		t.Fatal("400 answered nil error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d attempts on a 400, want 1", got)
+	}
+}
+
+// TestClientRetriesPostWithBody checks the request body is replayed on
+// each attempt — the shed-then-succeed path for mutating calls.
+func TestClientRetriesPostWithBody(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req UpdateLinksRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Updates) != 1 {
+			t.Errorf("attempt %d: body not replayed: %v %+v", calls.Load(), err, req)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(UpdateLinksResponse{Platform: "p", Epoch: 7, Updated: 1})
+	}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	bw := 1.0e8
+	resp, err := c.UpdateLinks("p", UpdateLinksRequest{
+		Updates: []LinkObservation{{Link: "l", Bandwidth: &bw}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 7 || calls.Load() != 2 {
+		t.Fatalf("epoch %d after %d attempts, want 7 after 2", resp.Epoch, calls.Load())
+	}
+}
+
+// TestClientRetriesConnectionErrors points the client at a closed port
+// and checks every attempt is spent before the transport error surfaces.
+func TestClientRetriesConnectionErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // nothing listens here anymore
+	c := NewClient(url)
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	if _, err := c.Platforms(); err == nil {
+		t.Fatal("closed port answered nil error")
+	}
+}
+
+// TestClientBackoffAgainstLiveAdmission drives a width-1 zero-queue
+// server from several goroutines: some requests are shed with 429, and
+// every client call still succeeds because the backoff absorbs them.
+func TestClientBackoffAgainstLiveAdmission(t *testing.T) {
+	s, srv := newRobustnessServer(t)
+	s.SetAdmission(1, 0, time.Second)
+	c := NewClient(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 20, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	transfers := []TransferRequest{{Src: "sagittaire-1.lyon.grid5000.fr", Dst: "sagittaire-2.lyon.grid5000.fr", Size: 1e8}}
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := c.PredictTransfers("g5k_test", transfers)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRetryPolicyBackoffDelay pins the jitter window: delays stay inside
+// [d/2, d] for the exponential schedule and honor a larger Retry-After.
+func TestRetryPolicyBackoffDelay(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt, want := range map[int]time.Duration{1: 100 * time.Millisecond, 2: 200 * time.Millisecond, 5: time.Second, 30: time.Second} {
+		for i := 0; i < 50; i++ {
+			d := p.backoffDelay(attempt, 0)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	if d := p.backoffDelay(1, 3*time.Second); d < 1500*time.Millisecond || d > 3*time.Second {
+		t.Fatalf("Retry-After ignored: %v", d)
+	}
+}

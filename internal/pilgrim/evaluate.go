@@ -2,6 +2,7 @@ package pilgrim
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -286,6 +287,15 @@ type evalGroup struct {
 // problems (unknown platform, no queries, limits exceeded) fail the call;
 // per-scenario and per-cell problems are reported inside the response.
 func (ev *Evaluator) Evaluate(name string, req EvaluateRequest) (*EvaluateResponse, error) {
+	return ev.EvaluateCtx(context.Background(), name, req)
+}
+
+// EvaluateCtx is Evaluate under a request context: scenario resolution
+// checks ctx between scenarios, and the group fan-out stops dispatching
+// once ctx is done (running groups finish — a simulation is not
+// interruptible). An expired ctx fails the call; the HTTP layer maps
+// context.DeadlineExceeded to 504.
+func (ev *Evaluator) EvaluateCtx(ctx context.Context, name string, req EvaluateRequest) (*EvaluateResponse, error) {
 	reg := ev.Platforms
 	if reg == nil {
 		return nil, fmt.Errorf("pilgrim: evaluator has no registry")
@@ -336,6 +346,9 @@ func (ev *Evaluator) Evaluate(name string, req EvaluateRequest) (*EvaluateRespon
 	groups := make(map[string]*evalGroup)
 	var order []*evalGroup
 	for si := range scenarios {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sc := &scenarios[si]
 		row := &resp.Scenarios[si]
 		row.Name = sc.Name
@@ -400,11 +413,13 @@ func (ev *Evaluator) Evaluate(name string, req EvaluateRequest) (*EvaluateRespon
 	pool.evalCalls.Add(1)
 	pool.evalCells.Add(uint64(resp.Stats.Cells))
 	pool.evalRuns.Add(uint64(len(order)))
-	pool.Run(len(order), func(gi int) {
+	if err := pool.RunCtx(ctx, len(order), func(gi int) {
 		g := order[gi]
 		g.results = ev.runGroup(name, g, req.Queries, templates)
 		pool.evalSims.Add(uint64(g.sims))
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Phase 3 (serial): fan group results back into the scenario rows.
 	for _, g := range order {

@@ -45,7 +45,6 @@ package pilgrim
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -56,6 +55,7 @@ import (
 	"pilgrim/internal/nws"
 	"pilgrim/internal/platform"
 	"pilgrim/internal/sim"
+	"pilgrim/internal/store"
 )
 
 // PlatformEntry couples a simulated platform with the model configuration
@@ -141,6 +141,16 @@ type Registry struct {
 	entries map[string]*regEntry
 	depth   int
 	horizon time.Duration
+
+	// Durability (see storage.go; all nil/zero in memory mode). gate
+	// serializes the background compactor (write lock) against mutators
+	// (read lock) so compaction snapshots match the log cut exactly.
+	gate        sync.RWMutex
+	storage     Storage
+	recovered   map[string]*store.PlatformRecovery
+	compactCh   chan struct{}
+	compactQuit chan struct{}
+	compactWG   sync.WaitGroup
 }
 
 // NewRegistry returns an empty platform registry with
@@ -187,16 +197,39 @@ func (r *Registry) ForecastHorizon() time.Duration {
 
 // Add registers a platform under a name. The platform is compiled
 // eagerly — the registry always serves a ready snapshot — and its
-// timeline starts on the compiled base epoch.
+// timeline starts on the compiled base epoch. With storage attached, a
+// platform recovered from the data directory under this name is restored
+// warm (timeline, forecaster bank, and accounting exactly as logged);
+// otherwise the registration is logged before it takes effect.
 func (r *Registry) Add(name string, entry PlatformEntry) error {
 	if name == "" || entry.Platform == nil {
 		return fmt.Errorf("pilgrim: invalid platform registration %q", name)
 	}
 	base := entry.snapshot()
+	r.gate.RLock()
+	defer r.gate.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
 		return fmt.Errorf("pilgrim: platform %q already registered", name)
+	}
+	if pr, ok := r.recovered[name]; ok {
+		re, err := r.restoreEntry(entry, pr)
+		if err != nil {
+			return fmt.Errorf("pilgrim: recovering platform %q: %w", name, err)
+		}
+		delete(r.recovered, name)
+		r.entries[name] = re
+		return nil
+	}
+	if r.storage != nil {
+		err := r.storage.Append(store.Record{
+			Op: store.OpAddPlatform, Platform: name,
+			BaseEpoch: base.Epoch(), Links: base.NumLinks(),
+		})
+		if err != nil {
+			return fmt.Errorf("pilgrim: logging registration of %q: %w", name, err)
+		}
 	}
 	r.entries[name] = &regEntry{
 		plat: entry.Platform,
@@ -310,26 +343,38 @@ func (r *Registry) ObserveLinkState(name string, t int64, source string, updates
 	if !ok {
 		return nil, fmt.Errorf("pilgrim: unknown platform %q", name)
 	}
+	r.gate.RLock()
+	defer r.gate.RUnlock()
 	re.fmu.Lock()
 	defer re.fmu.Unlock()
-	snap, err := re.tl.Append(t, source, updates)
-	if err != nil {
-		return nil, err
+	// Write-ahead ordering: validate, allocate the epoch id, log, then
+	// apply. Validation up front means the apply cannot fail after the
+	// record is in the log — so log and registry never diverge.
+	if last, ok := re.tl.LatestTime(); ok && t < last {
+		return nil, fmt.Errorf("%w: observation at %d, head at %d", platform.ErrOutOfOrder, t, last)
 	}
+	latest := re.tl.Latest()
 	for _, u := range updates {
-		li, ok := snap.LinkIndex(u.Link)
-		if !ok {
-			continue // unreachable: Append validated every link
-		}
-		// Mirror WithLinkState's keep-current sentinels so the bank only
-		// learns values that actually entered the epoch.
-		if u.Bandwidth > 0 && !math.IsNaN(u.Bandwidth) && !math.IsInf(u.Bandwidth, 0) {
-			re.bank.ObserveBandwidth(li, u.Bandwidth)
-		}
-		if u.Latency >= 0 && !math.IsNaN(u.Latency) && !math.IsInf(u.Latency, 0) {
-			re.bank.ObserveLatency(li, u.Latency)
+		if _, ok := latest.LinkIndex(u.Link); !ok {
+			return nil, fmt.Errorf("platform: unknown link %q in link-state update", u.Link)
 		}
 	}
+	epoch := platform.AllocateEpoch()
+	if s := r.backend(); s != nil {
+		err := s.Append(store.Record{
+			Op: store.OpObserve, Platform: name,
+			Time: t, Source: source, Epoch: epoch, Updates: updates,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pilgrim: logging observation: %w", err)
+		}
+	}
+	snap, err := re.tl.AppendPinned(t, source, updates, epoch)
+	if err != nil {
+		return nil, err // unreachable: validated above
+	}
+	feedBank(re.bank, snap, updates)
+	r.maybeCompact()
 	return snap, nil
 }
 
@@ -341,11 +386,22 @@ func (r *Registry) UpdateLinkState(name string, updates []platform.LinkUpdate) (
 }
 
 // RecordUpdateReject counts one refused observation batch (unknown link
-// names) against the platform, for timeline_stats accounting.
+// names) against the platform, for timeline_stats accounting. Logged
+// like any other mutation so a warm restart reports the same counter.
 func (r *Registry) RecordUpdateReject(name string) {
-	if re, ok := r.lookup(name); ok {
-		re.rejects.Add(1)
+	re, ok := r.lookup(name)
+	if !ok {
+		return
 	}
+	r.gate.RLock()
+	defer r.gate.RUnlock()
+	if s := r.backend(); s != nil {
+		if err := s.Append(store.Record{Op: store.OpReject, Platform: name}); err != nil {
+			return // refuse the count rather than diverge from the log
+		}
+	}
+	re.rejects.Add(1)
+	r.maybeCompact()
 }
 
 // UpdateRejects reports how many observation batches the platform has
@@ -368,14 +424,25 @@ func (r *Registry) SetBackgroundEstimate(name, source string, flows [][2]string)
 	if !ok {
 		return fmt.Errorf("pilgrim: unknown platform %q", name)
 	}
+	r.gate.RLock()
+	defer r.gate.RUnlock()
 	re.fmu.Lock()
 	defer re.fmu.Unlock()
+	if s := r.backend(); s != nil {
+		err := s.Append(store.Record{
+			Op: store.OpBgEstimate, Platform: name, Source: source, Flows: flows,
+		})
+		if err != nil {
+			return fmt.Errorf("pilgrim: logging background estimate: %w", err)
+		}
+	}
 	if len(flows) == 0 {
 		re.bgFlows, re.bgSource = nil, ""
-		return nil
+	} else {
+		re.bgFlows = append([][2]string(nil), flows...)
+		re.bgSource = source
 	}
-	re.bgFlows = append([][2]string(nil), flows...)
-	re.bgSource = source
+	r.maybeCompact()
 	return nil
 }
 

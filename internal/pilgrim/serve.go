@@ -1,0 +1,79 @@
+package pilgrim
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server timeouts pilgrimd installs (overridable through ServeOptions).
+// ReadHeaderTimeout bounds slow-loris header dribble; WriteTimeout is
+// generous because evaluate batches legitimately simulate for a while —
+// per-request bounds belong to the deadline query parameter, not the
+// connection; DrainTimeout bounds the SIGTERM grace period.
+const (
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultWriteTimeout      = 5 * time.Minute
+	DefaultDrainTimeout      = 30 * time.Second
+)
+
+// ServeOptions configures Serve. Zero values select the package
+// defaults above.
+type ServeOptions struct {
+	ReadHeaderTimeout time.Duration
+	WriteTimeout      time.Duration
+	DrainTimeout      time.Duration
+}
+
+// Serve runs handler on addr until ctx is canceled, then drains: the
+// listener closes (new connections refused), in-flight requests get up to
+// DrainTimeout to finish, and only then are survivors cut off. Returns
+// nil on a clean drain, the shutdown error when the grace period expires,
+// or the listener's error if serving failed outright.
+func Serve(ctx context.Context, addr string, handler http.Handler, opts ServeOptions) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, l, handler, opts)
+}
+
+// ServeListener is Serve over an existing listener (tests use it to learn
+// the bound port). The listener is owned by the server and closed on
+// return.
+func ServeListener(ctx context.Context, l net.Listener, handler http.Handler, opts ServeOptions) error {
+	if opts.ReadHeaderTimeout <= 0 {
+		opts.ReadHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = DefaultWriteTimeout
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+		<-errc
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

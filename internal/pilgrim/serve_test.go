@@ -1,0 +1,112 @@
+package pilgrim
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeListenerDrains cancels the serve context while a request is
+// in flight and checks the drain semantics: the in-flight request
+// finishes with its full answer, Serve returns nil (clean drain), and
+// new connections are refused afterward.
+func TestServeListenerDrains(t *testing.T) {
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-unblock
+		io.WriteString(w, "drained ok")
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- ServeListener(ctx, l, handler, ServeOptions{DrainTimeout: 5 * time.Second})
+	}()
+
+	reqDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/")
+		if err != nil {
+			reqDone <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		reqDone <- string(body)
+	}()
+
+	<-started
+	cancel() // SIGTERM equivalent: drain begins with the request in flight
+	// Shutdown has closed the listener (possibly after a beat); poll until
+	// new connections are refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting long after shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case err := <-serveDone:
+		t.Fatalf("serve returned %v before the in-flight request finished", err)
+	default:
+	}
+
+	close(unblock)
+	if got := <-reqDone; got != "drained ok" {
+		t.Fatalf("in-flight request got %q, want full answer", got)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+}
+
+// TestServeListenerDrainTimeout checks a request outliving the grace
+// period causes Serve to report the shutdown error instead of hanging.
+func TestServeListenerDrainTimeout(t *testing.T) {
+	unblock := make(chan struct{})
+	defer close(unblock)
+	started := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		select {
+		case <-unblock:
+		case <-r.Context().Done():
+		}
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- ServeListener(ctx, l, handler, ServeOptions{DrainTimeout: 50 * time.Millisecond})
+	}()
+	go http.Get("http://" + l.Addr().String() + "/")
+	<-started
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Fatal("expired drain reported a clean shutdown")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after the drain deadline")
+	}
+}

@@ -1,7 +1,9 @@
 package pilgrim
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +17,7 @@ import (
 	"pilgrim/internal/metrology"
 	"pilgrim/internal/platform"
 	"pilgrim/internal/rrd"
+	"pilgrim/internal/store"
 	"pilgrim/internal/workflow"
 )
 
@@ -35,7 +38,17 @@ type Server struct {
 	// Evaluate limits (0 selects the package defaults).
 	maxScenarios atomic.Int64
 	maxCells     atomic.Int64
+
+	// admission bounds the simulation endpoints (nil: unlimited);
+	// maxBodyBytes caps request bodies on the body-carrying endpoints
+	// (0 selects DefaultMaxBodyBytes).
+	admission    atomic.Pointer[Admission]
+	maxBodyBytes atomic.Int64
 }
+
+// DefaultMaxBodyBytes is the request-body cap applied to update_links,
+// evaluate, and predict_workflow (the pilgrimd -max-body-bytes flag).
+const DefaultMaxBodyBytes = 16 << 20
 
 // NewServer builds a server over the given platform registry and metric
 // registry (either may be empty, disabling the respective service's
@@ -101,6 +114,99 @@ func (s *Server) SetEvaluateLimits(maxScenarios, maxCells int) {
 // reuse).
 func (s *Server) SetOverlayCache(capacity int) {
 	s.overlays.Store(NewOverlayCache(capacity))
+}
+
+// SetAdmission bounds the simulation endpoints (predict_transfers,
+// select_fastest, evaluate, predict_workflow): at most maxInflight
+// requests at once, at most maxQueue more waiting, the rest shed with
+// 429 + Retry-After. maxInflight <= 0 disables admission control. Safe
+// to call while serving; in-flight requests finish under the controller
+// they were admitted by.
+func (s *Server) SetAdmission(maxInflight, maxQueue int, retryAfter time.Duration) {
+	s.admission.Store(NewAdmission(maxInflight, maxQueue, retryAfter))
+}
+
+// SetMaxBodyBytes caps request bodies on the body-carrying endpoints
+// (n <= 0 restores DefaultMaxBodyBytes). Oversized bodies answer a
+// structured 413.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBodyBytes
+	}
+	s.maxBodyBytes.Store(n)
+}
+
+// bodyLimit is the configured request-body cap.
+func (s *Server) bodyLimit() int64 {
+	if n := s.maxBodyBytes.Load(); n > 0 {
+		return n
+	}
+	return DefaultMaxBodyBytes
+}
+
+// BodyTooLargeError is the structured 413 body the body-carrying
+// endpoints answer when a request exceeds the configured cap.
+type BodyTooLargeError struct {
+	Error        string `json:"error"`
+	MaxBodyBytes int64  `json:"max_body_bytes"`
+}
+
+// OverCapacityError is the structured 429 body shed requests receive;
+// the Retry-After header carries the same hint in seconds.
+type OverCapacityError struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int64  `json:"retry_after_seconds"`
+}
+
+// admit applies admission control and the optional deadline query
+// parameter (seconds, fractional allowed) to a simulation request.
+// Returns a context for the work, a cleanup to defer, and ok=false when
+// the request was already answered (429 on shed, 504 on a deadline that
+// expired while queued, 400 on a malformed deadline).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, cleanup func(), ok bool) {
+	ctx = r.Context()
+	cancel := func() {}
+	if dl := r.URL.Query().Get("deadline"); dl != "" {
+		secs, err := strconv.ParseFloat(dl, 64)
+		if err != nil || secs <= 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+			http.Error(w, fmt.Sprintf("deadline %q is not a positive number of seconds", dl), http.StatusBadRequest)
+			return nil, nil, false
+		}
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(secs*float64(time.Second)))
+	}
+	adm := s.admission.Load()
+	release, err := adm.Acquire(ctx)
+	if err != nil {
+		cancel()
+		if errors.Is(err, ErrShed) {
+			retry := int64((adm.RetryAfter() + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+			writeJSONStatus(w, http.StatusTooManyRequests, OverCapacityError{
+				Error:             "server over capacity, retry later",
+				RetryAfterSeconds: retry,
+			})
+		} else {
+			http.Error(w, "deadline expired while queued for admission", http.StatusGatewayTimeout)
+		}
+		return nil, nil, false
+	}
+	return ctx, func() { release(); cancel() }, true
+}
+
+// finishCtx maps a context failure from the simulation path onto its
+// HTTP answer: 504 for an expired deadline, 499-style client-closed for
+// a canceled request. Returns true when it answered.
+func finishCtx(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "deadline exceeded before the request finished", http.StatusGatewayTimeout)
+		return true
+	case errors.Is(err, context.Canceled):
+		// Client gone; nothing useful to write.
+		http.Error(w, "request canceled", http.StatusServiceUnavailable)
+		return true
+	}
+	return false
 }
 
 // evaluator assembles the evaluate machinery from the server's live
@@ -171,6 +277,11 @@ func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEnt
 //	GET /pilgrim/predict_transfers/g5k_test?transfer=src,dst,size&...
 //	    [&bg=src,dst]... [&at=T]
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ctx, cleanup, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer cleanup()
 	entry, ok := s.platformOf(w, r)
 	if !ok {
 		return
@@ -198,6 +309,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		background = append(background, [2]string{parts[0], parts[1]})
 	}
+	// One simulation, not interruptible mid-run: honor the deadline by
+	// refusing to start once it has passed (it may have expired while the
+	// request waited for admission).
+	if err := ctx.Err(); err != nil {
+		finishCtx(w, err)
+		return
+	}
 	preds, err := s.cache.Load().Predict(r.PathValue("platform"), entry, transfers, background)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -207,16 +325,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCacheStats reports the forecast cache's hit/miss counters, the
-// worker pool's telemetry (hypothesis and evaluate fan-out), and the
-// scenario-overlay cache counters:
+// worker pool's telemetry (hypothesis and evaluate fan-out), the
+// scenario-overlay cache counters, admission-control accounting, and —
+// when the registry is WAL-backed — the durable-store counters:
 //
 //	GET /pilgrim/cache_stats
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	var storage *store.WALStats
+	if st, ok := s.platforms.StorageStats(); ok {
+		storage = &st
+	}
 	writeJSON(w, struct {
 		CacheStats
-		Forecast WorkerStats  `json:"forecast_workers"`
-		Overlays OverlayStats `json:"scenario_overlays"`
-	}{s.cache.Load().Stats(), s.pool.Load().Stats(), s.overlays.Load().Stats()})
+		Forecast  WorkerStats     `json:"forecast_workers"`
+		Overlays  OverlayStats    `json:"scenario_overlays"`
+		Admission AdmissionStats  `json:"admission"`
+		Storage   *store.WALStats `json:"storage,omitempty"`
+	}{s.cache.Load().Stats(), s.pool.Load().Stats(), s.overlays.Load().Stats(),
+		s.admission.Load().Stats(), storage})
 }
 
 // handleEvaluate implements batched what-if evaluation: POST N scenarios
@@ -234,22 +360,47 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 // cache + in-request dedup). Per-scenario and per-cell failures are
 // reported inside the grid; request-shape problems answer 400.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	ctx, cleanup, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer cleanup()
 	name := r.PathValue("platform")
 	if _, ok := s.platforms.Get(name); !ok {
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
 		return
 	}
 	var req EvaluateRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit())).Decode(&req); err != nil {
+		if bodyTooLarge(w, s, err) {
+			return
+		}
 		http.Error(w, fmt.Sprintf("decoding evaluate request: %v", err), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.evaluator().Evaluate(name, req)
+	resp, err := s.evaluator().EvaluateCtx(ctx, name, req)
 	if err != nil {
+		if finishCtx(w, err) {
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, resp)
+}
+
+// bodyTooLarge answers the structured 413 when err is the MaxBytesReader
+// limit; reports whether it did.
+func bodyTooLarge(w http.ResponseWriter, s *Server, err error) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	writeJSONStatus(w, http.StatusRequestEntityTooLarge, BodyTooLargeError{
+		Error:        fmt.Sprintf("request body exceeds the %d-byte limit", s.bodyLimit()),
+		MaxBodyBytes: s.bodyLimit(),
+	})
+	return true
 }
 
 // BgEstimateResponse reports a platform's registered background-traffic
@@ -324,6 +475,11 @@ func (s *Server) handleBgEstimatePost(w http.ResponseWriter, r *http.Request) {
 //
 //	GET /pilgrim/select_fastest/g5k_test?hypothesis=src,dst,size[;src,dst,size...]&hypothesis=...[&at=T]
 func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
+	ctx, cleanup, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer cleanup()
 	entry, ok := s.platformOf(w, r)
 	if !ok {
 		return
@@ -345,9 +501,12 @@ func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "at least one hypothesis parameter required", http.StatusBadRequest)
 		return
 	}
-	best, results, err := s.pool.Load().SelectFastestCached(
-		s.cache.Load(), r.PathValue("platform"), entry, hyps)
+	best, results, err := s.pool.Load().SelectFastestCachedCtx(
+		ctx, s.cache.Load(), r.PathValue("platform"), entry, hyps)
 	if err != nil {
+		if finishCtx(w, err) {
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -361,13 +520,25 @@ func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
 // §VI): POST a JSON workflow DAG of compute and transfer tasks, receive
 // the simulated schedule and makespan.
 func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
+	ctx, cleanup, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer cleanup()
 	entry, ok := s.platformOf(w, r)
 	if !ok {
 		return
 	}
 	var wf workflow.Workflow
-	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&wf); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit())).Decode(&wf); err != nil {
+		if bodyTooLarge(w, s, err) {
+			return
+		}
 		http.Error(w, fmt.Sprintf("decoding workflow: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		finishCtx(w, err)
 		return
 	}
 	forecast, err := workflow.Predict(entry.snapshot(), entry.Config, &wf)
@@ -450,8 +621,11 @@ func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
 		return
 	}
-	raw, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	if err != nil {
+		if bodyTooLarge(w, s, err) {
+			return
+		}
 		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
 		return
 	}

@@ -1,6 +1,7 @@
 package pilgrim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,19 +54,6 @@ func NewWorkerPool(workers int) *WorkerPool {
 // Workers returns the pool width.
 func (p *WorkerPool) Workers() int { return cap(p.slots) }
 
-func (p *WorkerPool) acquire() {
-	p.queued.Add(1)
-	p.slots <- struct{}{}
-	p.queued.Add(-1)
-	b := p.busy.Add(1)
-	for {
-		m := p.maxBusy.Load()
-		if b <= m || p.maxBusy.CompareAndSwap(m, b) {
-			return
-		}
-	}
-}
-
 func (p *WorkerPool) release() {
 	p.busy.Add(-1)
 	<-p.slots
@@ -117,20 +105,50 @@ func (p *WorkerPool) Stats() WorkerStats {
 // with concurrent select_fastest and evaluate traffic under the same
 // width bound.
 func (p *WorkerPool) Run(n int, fn func(int)) {
+	p.RunCtx(context.Background(), n, fn)
+}
+
+// RunCtx is Run with a cancellation point at slot acquisition: once ctx
+// is done, invocations still waiting for a worker are skipped (running
+// ones finish — a simulation is not interruptible mid-run) and the
+// context error is returned. Under a loaded pool this bounds how long a
+// deadline-carrying request can wait behind other traffic.
+func (p *WorkerPool) RunCtx(ctx context.Context, n int, fn func(int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p.acquire()
+			if !p.acquireCtx(ctx) {
+				return
+			}
 			defer p.release()
 			fn(i)
 		}(i)
 	}
 	wg.Wait()
+	return ctx.Err()
+}
+
+// acquireCtx takes a pool slot unless ctx is done first.
+func (p *WorkerPool) acquireCtx(ctx context.Context) bool {
+	p.queued.Add(1)
+	defer p.queued.Add(-1)
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return false
+	}
+	b := p.busy.Add(1)
+	for {
+		m := p.maxBusy.Load()
+		if b <= m || p.maxBusy.CompareAndSwap(m, b) {
+			return true
+		}
+	}
 }
 
 // selectFastest ranks hypotheses under any prediction backend, evaluating
@@ -139,13 +157,20 @@ func (p *WorkerPool) Run(n int, fn func(int)) {
 // the lowest-index hypothesis with the smallest makespan, and on failure
 // the lowest failing index's error is returned.
 func (p *WorkerPool) selectFastest(hyps []Hypothesis, predict func([]TransferRequest) ([]Prediction, error)) (best int, results []HypothesisResult, err error) {
+	return p.selectFastestCtx(context.Background(), hyps, predict)
+}
+
+// selectFastestCtx is selectFastest with the pool fan-out bounded by ctx:
+// hypotheses not yet running when ctx expires are skipped and the context
+// error is returned.
+func (p *WorkerPool) selectFastestCtx(ctx context.Context, hyps []Hypothesis, predict func([]TransferRequest) ([]Prediction, error)) (best int, results []HypothesisResult, err error) {
 	if len(hyps) == 0 {
 		return 0, nil, fmt.Errorf("pilgrim: no hypotheses")
 	}
 	p.batches.Add(1)
 	results = make([]HypothesisResult, len(hyps))
 	errs := make([]error, len(hyps))
-	p.Run(len(hyps), func(i int) {
+	ctxErr := p.RunCtx(ctx, len(hyps), func(i int) {
 		preds, err := predict(hyps[i].Transfers)
 		if err != nil {
 			errs[i] = err
@@ -160,6 +185,9 @@ func (p *WorkerPool) selectFastest(hyps []Hypothesis, predict func([]TransferReq
 		}
 		results[i] = HypothesisResult{Index: i, Makespan: makespan, Predictions: preds}
 	})
+	if ctxErr != nil {
+		return 0, nil, ctxErr
+	}
 	for i, e := range errs {
 		if e != nil {
 			return 0, nil, fmt.Errorf("pilgrim: hypothesis %d: %w", i, e)
@@ -187,7 +215,14 @@ func (p *WorkerPool) SelectFastest(entry PlatformEntry, hyps []Hypothesis) (best
 // same alternatives repeatedly pays for each simulation once — and the
 // misses simulate concurrently.
 func (p *WorkerPool) SelectFastestCached(fc *ForecastCache, platform string, entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
-	return p.selectFastest(hyps, func(transfers []TransferRequest) ([]Prediction, error) {
+	return p.SelectFastestCachedCtx(context.Background(), fc, platform, entry, hyps)
+}
+
+// SelectFastestCachedCtx is SelectFastestCached under a request context:
+// the HTTP deadline path, answering 504 upstream when ctx expires before
+// every hypothesis got a worker.
+func (p *WorkerPool) SelectFastestCachedCtx(ctx context.Context, fc *ForecastCache, platform string, entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
+	return p.selectFastestCtx(ctx, hyps, func(transfers []TransferRequest) ([]Prediction, error) {
 		return fc.Predict(platform, entry, transfers, nil)
 	})
 }

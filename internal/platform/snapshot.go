@@ -72,7 +72,33 @@ type statePage [statePageSize]float64
 // reused — across platforms, recompiles and link-state updates — so an
 // epoch number identifies one exact network picture forever. The forecast
 // cache keys entries by it instead of pinning platform pointers.
+//
+// WAL recovery is the one exception to pure counter allocation: a
+// restarted pilgrimd restores the epoch ids its predecessor logged (so
+// timelines and their accounting come back byte-identical), then raises
+// the counter past every restored id with EnsureEpochAtLeast, preserving
+// the never-reused invariant for all future allocations. Restored epochs
+// must only be served alongside caches built after the restore — the
+// standard shape of a process restart.
 var snapshotEpochs atomic.Uint64
+
+// AllocateEpoch reserves one process-unique epoch id without building a
+// snapshot. Write-ahead logging uses it to know an observation's epoch id
+// before the observation is applied (log first, then derive the epoch
+// with the pinned id).
+func AllocateEpoch() uint64 { return snapshotEpochs.Add(1) }
+
+// EnsureEpochAtLeast raises the process epoch counter so every future
+// allocation is strictly greater than n. WAL recovery calls it after
+// restoring logged epoch ids.
+func EnsureEpochAtLeast(n uint64) {
+	for {
+		cur := snapshotEpochs.Load()
+		if cur >= n || snapshotEpochs.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
 
 // LinkUpdate revises one link's state in a new epoch, typically from a
 // live measurement. Bandwidth is in bytes per second; a value <= 0 (or
@@ -543,6 +569,30 @@ func (s *Snapshot) WithLinkStateIdx(updates []LinkUpdateIdx) (*Snapshot, error) 
 		}
 		ns.applyLinkUpdate(s, u.Link, u.Bandwidth, u.Latency)
 	}
+	return ns, nil
+}
+
+// CloneWithEpoch derives a zero-change copy of this snapshot carrying
+// the given epoch id: identical link/host state (all pages shared),
+// identical topology, the requested identity. WAL recovery uses it to
+// pin a freshly compiled base snapshot to the epoch id its predecessor
+// process logged. The id must come from a recovered log — reusing a live
+// epoch id would alias two pictures in epoch-keyed caches.
+func (s *Snapshot) CloneWithEpoch(epoch uint64) *Snapshot {
+	ns := s.newEpochFrom()
+	ns.epoch = epoch
+	return ns
+}
+
+// withLinkStateEpoch is WithLinkState with a caller-supplied epoch id —
+// the timeline recovery path, which must reproduce the exact ids its
+// write-ahead log recorded.
+func (s *Snapshot) withLinkStateEpoch(updates []LinkUpdate, epoch uint64) (*Snapshot, error) {
+	ns, err := s.WithLinkState(updates)
+	if err != nil {
+		return nil, err
+	}
+	ns.epoch = epoch
 	return ns, nil
 }
 

@@ -72,11 +72,14 @@ type Timeline struct {
 	mu   sync.RWMutex
 	base *Snapshot
 
-	// Ring buffer of the retained history, oldest at index head.
+	// Ring buffer of the retained history, oldest at index head. updates
+	// keeps each entry's observation batch so the retained history can be
+	// re-serialized verbatim (WAL snapshot compaction).
 	snaps   []*Snapshot
 	times   []int64
 	sources []string
 	changed []int
+	updates [][]LinkUpdate
 	head    int
 	count   int
 
@@ -103,6 +106,7 @@ func NewTimeline(base *Snapshot, depth int) *Timeline {
 		times:   make([]int64, depth),
 		sources: make([]string, depth),
 		changed: make([]int, depth),
+		updates: make([][]LinkUpdate, depth),
 	}
 	tl.latest.Store(base)
 	return tl
@@ -135,18 +139,40 @@ func (tl *Timeline) at(i int) int { return (tl.head + i) % len(tl.snaps) }
 // provenance text recorded with the entry. When the history is at
 // capacity the oldest entry is dropped. Returns the new epoch.
 func (tl *Timeline) Append(t int64, source string, updates []LinkUpdate) (*Snapshot, error) {
+	return tl.append(t, source, updates, 0)
+}
+
+// AppendPinned is Append with a caller-supplied epoch id — the WAL
+// recovery path, which replays logged observations and must reproduce
+// the exact epoch ids the original process assigned. epoch must come
+// from a recovered log (see Snapshot.CloneWithEpoch on id aliasing).
+func (tl *Timeline) AppendPinned(t int64, source string, updates []LinkUpdate, epoch uint64) (*Snapshot, error) {
+	return tl.append(t, source, updates, epoch)
+}
+
+// append folds one observation in; epoch 0 allocates a fresh id, any
+// other value pins it (0 is never a valid allocated id — the counter
+// starts at 1).
+func (tl *Timeline) append(t int64, source string, updates []LinkUpdate, epoch uint64) (*Snapshot, error) {
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
 	if tl.count > 0 && t < tl.times[tl.at(tl.count-1)] {
 		return nil, fmt.Errorf("%w: observation at %d, head at %d",
 			ErrOutOfOrder, t, tl.times[tl.at(tl.count-1)])
 	}
-	next, err := tl.latest.Load().WithLinkState(updates)
+	var next *Snapshot
+	var err error
+	if epoch == 0 {
+		next, err = tl.latest.Load().WithLinkState(updates)
+	} else {
+		next, err = tl.latest.Load().withLinkStateEpoch(updates, epoch)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if tl.count == len(tl.snaps) {
 		tl.snaps[tl.head] = nil
+		tl.updates[tl.head] = nil
 		tl.head = (tl.head + 1) % len(tl.snaps)
 		tl.count--
 		tl.evictions++
@@ -156,10 +182,51 @@ func (tl *Timeline) Append(t int64, source string, updates []LinkUpdate) (*Snaps
 	tl.times[i] = t
 	tl.sources[i] = source
 	tl.changed[i] = len(updates)
+	tl.updates[i] = append([]LinkUpdate(nil), updates...)
 	tl.count++
 	tl.appends++
 	tl.latest.Store(next)
 	return next, nil
+}
+
+// RestoreCounters overwrites the append/eviction accounting — recovery
+// only, after the retained history has been replayed, so a warm restart
+// reports the same lifetime totals its predecessor did.
+func (tl *Timeline) RestoreCounters(appends, evictions uint64) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.appends = appends
+	tl.evictions = evictions
+}
+
+// TimelineRecord is one retained observation in replayable form: the
+// entry metadata plus the full update batch that produced it. WAL
+// snapshot compaction serializes these; recovery replays them through
+// AppendPinned.
+type TimelineRecord struct {
+	Time    int64        `json:"time"`
+	Epoch   uint64       `json:"epoch"`
+	Source  string       `json:"source,omitempty"`
+	Updates []LinkUpdate `json:"updates"`
+}
+
+// Records returns the retained history with full update batches, oldest
+// first. The update slices are copies; mutating them does not affect the
+// timeline.
+func (tl *Timeline) Records() []TimelineRecord {
+	tl.mu.RLock()
+	defer tl.mu.RUnlock()
+	out := make([]TimelineRecord, tl.count)
+	for i := range out {
+		ri := tl.at(i)
+		out[i] = TimelineRecord{
+			Time:    tl.times[ri],
+			Epoch:   tl.snaps[ri].Epoch(),
+			Source:  tl.sources[ri],
+			Updates: append([]LinkUpdate(nil), tl.updates[ri]...),
+		}
+	}
+	return out
 }
 
 // AtTime returns the epoch in effect at time t: the newest observation

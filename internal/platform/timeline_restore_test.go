@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestTimelineRestoreRoundTrip is the recovery contract at the platform
+// layer: a timeline rebuilt from a fresh compile of the same platform —
+// base pinned with CloneWithEpoch, history replayed with AppendPinned,
+// counters restored — reports byte-identical stats and answers identical
+// link state at every instant.
+func TestTimelineRestoreRoundTrip(t *testing.T) {
+	p := buildMixedPlatform(t, 4)
+	orig := NewTimeline(p.Snapshot(), 3)
+	link := "lyon-0_nic"
+	li, _ := p.Snapshot().LinkIndex(link)
+
+	// Overflow the depth bound so evictions are exercised too.
+	for i, bw := range []float64{1e6, 2e6, 3e6, 4e6, 5e6} {
+		if _, err := orig.Append(int64(100+10*i), "probe", []LinkUpdate{{Link: link, Bandwidth: bw, Latency: -1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records := orig.Records()
+	if len(records) != 3 {
+		t.Fatalf("retained %d records, want 3", len(records))
+	}
+	origStats := orig.Stats()
+
+	// "Restart": an independent compile of the same platform gets fresh
+	// epoch ids; recovery pins them back.
+	p2 := buildMixedPlatform(t, 4)
+	base2 := p2.Snapshot().CloneWithEpoch(origStats.BaseEpoch)
+	if base2.Epoch() != origStats.BaseEpoch {
+		t.Fatalf("CloneWithEpoch kept epoch %d, want %d", base2.Epoch(), origStats.BaseEpoch)
+	}
+	if base2.LinkBandwidth(li) != p2.Snapshot().LinkBandwidth(li) {
+		t.Fatal("CloneWithEpoch must not change link state")
+	}
+	restored := NewTimeline(base2, 3)
+	for _, rec := range records {
+		snap, err := restored.AppendPinned(rec.Time, rec.Source, rec.Updates, rec.Epoch)
+		if err != nil {
+			t.Fatalf("replaying record at t=%d: %v", rec.Time, err)
+		}
+		if snap.Epoch() != rec.Epoch {
+			t.Fatalf("replayed epoch %d, want pinned %d", snap.Epoch(), rec.Epoch)
+		}
+	}
+	restored.RestoreCounters(origStats.Appends, origStats.Evictions)
+
+	a, _ := json.Marshal(origStats)
+	b, _ := json.Marshal(restored.Stats())
+	if string(a) != string(b) {
+		t.Fatalf("restored stats diverge:\n  orig:     %s\n  restored: %s", a, b)
+	}
+	for _, at := range []int64{0, 100, 115, 130, 140, 1 << 40} {
+		if got, want := restored.AtTime(at).LinkBandwidth(li), orig.AtTime(at).LinkBandwidth(li); got != want {
+			t.Errorf("AtTime(%d): bandwidth %v, want %v", at, got, want)
+		}
+		if got, want := restored.AtTime(at).Epoch(), orig.AtTime(at).Epoch(); got != want {
+			t.Errorf("AtTime(%d): epoch %d, want %d", at, got, want)
+		}
+	}
+	if !reflect.DeepEqual(restored.Records(), records) {
+		t.Fatal("restored Records() diverge from the original")
+	}
+}
+
+// TestEnsureEpochAtLeast checks the counter floor recovery relies on for
+// the never-reused epoch invariant.
+func TestEnsureEpochAtLeast(t *testing.T) {
+	cur := AllocateEpoch()
+	EnsureEpochAtLeast(cur + 1000)
+	if next := AllocateEpoch(); next <= cur+1000 {
+		t.Fatalf("allocated %d after flooring at %d", next, cur+1000)
+	}
+	// A floor below the counter is a no-op.
+	before := AllocateEpoch()
+	EnsureEpochAtLeast(1)
+	if next := AllocateEpoch(); next <= before {
+		t.Fatalf("flooring below the counter moved it backwards (%d -> %d)", before, next)
+	}
+}

@@ -1,0 +1,353 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pilgrim/internal/platform"
+)
+
+func obsRecord(i int) Record {
+	return Record{
+		Op:       OpObserve,
+		Platform: "g5k",
+		Time:     int64(1000 + 10*i),
+		Source:   "probe",
+		Epoch:    uint64(100 + i),
+		Updates: []platform.LinkUpdate{
+			{Link: fmt.Sprintf("lyon-%d_nic", i%4), Bandwidth: 1e8 + float64(i), Latency: -1},
+		},
+	}
+}
+
+func mustOpen(t *testing.T, opts Options) (*WAL, *RecoveredState) {
+	t.Helper()
+	w, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, rec
+}
+
+// TestWALRoundTrip is the basic contract: append, close, reopen, and the
+// records come back in order as the recovered tail.
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, rec := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if len(rec.Platforms) != 0 || rec.MaxEpoch != 0 {
+		t.Fatalf("fresh dir recovered non-empty state: %+v", rec)
+	}
+	if err := w.Append(Record{Op: OpAddPlatform, Platform: "g5k", BaseEpoch: 42, Links: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 25; i++ {
+		r := obsRecord(i)
+		want = append(want, r)
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Append(Record{Op: OpBgEstimate, Platform: "g5k", Source: "drill", Flows: [][2]string{{"a", "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Op: OpReject, Platform: "g5k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec2 := mustOpen(t, Options{Dir: dir})
+	defer w2.Close()
+	pr := rec2.Platforms["g5k"]
+	if pr == nil {
+		t.Fatal("platform not recovered")
+	}
+	if pr.State.BaseEpoch != 42 || pr.State.Links != 8 {
+		t.Fatalf("recovered registration %+v", pr.State)
+	}
+	if len(pr.Tail) != len(want)+2 {
+		t.Fatalf("recovered %d tail records, want %d", len(pr.Tail), len(want)+2)
+	}
+	if !reflect.DeepEqual(pr.Tail[:len(want)], want) {
+		t.Fatal("recovered observations diverge from appended ones")
+	}
+	if pr.Tail[len(want)].Op != OpBgEstimate || pr.Tail[len(want)+1].Op != OpReject {
+		t.Fatal("bg_estimate/reject tail records out of order")
+	}
+	if rec2.MaxEpoch != 124 {
+		t.Fatalf("MaxEpoch %d, want 124", rec2.MaxEpoch)
+	}
+	if rec2.Skipped != 0 || rec2.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported Skipped=%d TruncatedBytes=%d", rec2.Skipped, rec2.TruncatedBytes)
+	}
+	if st := w2.Stats(); st.RecoveredRecords != len(want)+3 {
+		t.Fatalf("stats recovered %d records, want %d", st.RecoveredRecords, len(want)+3)
+	}
+}
+
+// TestWALTornTailTruncation kills the log mid-record at every possible
+// byte boundary of the final frame and checks recovery always lands on
+// the longest valid prefix — never a partial record, never a lost good
+// one.
+func TestWALTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if err := w.Append(Record{Op: OpAddPlatform, Platform: "g5k", BaseEpoch: 1, Links: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	path := w.walPath(1)
+	for i := 0; i < 6; i++ {
+		if err := w.Append(obsRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, fi.Size())
+	}
+	w.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		sub := filepath.Join(t.TempDir(), "d")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "wal-00000001.log"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, rec := mustOpen(t, Options{Dir: sub})
+		// The observations that survive are exactly those whose frames lie
+		// entirely within the cut.
+		wantObs := 0
+		for _, off := range offsets {
+			if off <= cut {
+				wantObs++
+			}
+		}
+		var gotObs int
+		if pr := rec.Platforms["g5k"]; pr != nil {
+			gotObs = len(pr.Tail)
+		} else if wantObs > 0 {
+			t.Fatalf("cut=%d: registration lost but %d observations expected", cut, wantObs)
+		}
+		if gotObs != wantObs {
+			t.Fatalf("cut=%d: recovered %d observations, want %d", cut, gotObs, wantObs)
+		}
+		// The truncated file must accept appends and recover them next time.
+		if err := w2.Append(obsRecord(99)); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		w2.Close()
+		_, rec3 := mustOpen(t, Options{Dir: sub})
+		var got3 int
+		if pr := rec3.Platforms["g5k"]; pr != nil {
+			got3 = len(pr.Tail)
+		}
+		// If the cut severed the registration record itself, the appended
+		// observation names an unknown platform and is skipped on replay.
+		want3 := wantObs + 1
+		if rec.Platforms["g5k"] == nil {
+			want3 = 0
+		}
+		if got3 != want3 {
+			t.Fatalf("cut=%d: second recovery got %d observations, want %d", cut, got3, want3)
+		}
+	}
+}
+
+// TestWALRandomCorruption flips random bytes at random offsets and
+// checks recovery never fails, never returns a record that was not
+// appended, and always yields a prefix of the appended sequence.
+func TestWALRandomCorruption(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if err := w.Append(Record{Op: OpAddPlatform, Platform: "g5k", BaseEpoch: 1, Links: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var appended []Record
+	for i := 0; i < 40; i++ {
+		r := obsRecord(i)
+		appended = append(appended, r)
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	full, err := os.ReadFile(w.walPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		img := append([]byte(nil), full...)
+		for flips := 1 + rng.Intn(3); flips > 0; flips-- {
+			img[rng.Intn(len(img))] ^= byte(1 + rng.Intn(255))
+		}
+		sub := filepath.Join(t.TempDir(), "d")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "wal-00000001.log"), img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, rec, err := Open(Options{Dir: sub})
+		if err != nil {
+			t.Fatalf("trial %d: recovery failed: %v", trial, err)
+		}
+		if pr := rec.Platforms["g5k"]; pr != nil {
+			if len(pr.Tail) > len(appended) {
+				t.Fatalf("trial %d: recovered more records than appended", trial)
+			}
+			for i, r := range pr.Tail {
+				if !reflect.DeepEqual(r, appended[i]) {
+					t.Fatalf("trial %d: record %d is not a prefix of the appended sequence", trial, i)
+				}
+			}
+		}
+		w2.Close()
+	}
+}
+
+// TestWALCompaction checks rotation: the snapshot becomes the recovered
+// base state, the old generation is deleted, and post-compaction appends
+// land in the new segment's tail.
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways, CompactEvery: 8})
+	if err := w.Append(Record{Op: OpAddPlatform, Platform: "g5k", BaseEpoch: 5, Links: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := w.Append(obsRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !w.NeedsCompaction() {
+		t.Fatal("segment past threshold but NeedsCompaction is false")
+	}
+	state := State{
+		MaxEpoch: 107,
+		Platforms: []PlatformState{{
+			Name: "g5k", BaseEpoch: 5, Links: 4, Appends: 8,
+			Entries: []platform.TimelineRecord{{Time: 1070, Epoch: 107, Source: "probe",
+				Updates: []platform.LinkUpdate{{Link: "lyon-3_nic", Bandwidth: 1e8, Latency: -1}}}},
+		}},
+	}
+	if err := w.Compact(state); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if w.NeedsCompaction() {
+		t.Fatal("fresh segment already wants compaction")
+	}
+	if _, err := os.Stat(w.walPath(1)); !os.IsNotExist(err) {
+		t.Fatal("old log segment survived compaction")
+	}
+	post := obsRecord(50)
+	if err := w.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, rec := mustOpen(t, Options{Dir: dir})
+	defer w2.Close()
+	pr := rec.Platforms["g5k"]
+	if pr == nil {
+		t.Fatal("platform lost across compaction")
+	}
+	if !reflect.DeepEqual(pr.State, state.Platforms[0]) {
+		t.Fatalf("recovered state %+v, want %+v", pr.State, state.Platforms[0])
+	}
+	if len(pr.Tail) != 1 || !reflect.DeepEqual(pr.Tail[0], post) {
+		t.Fatalf("recovered tail %+v, want the one post-compaction record", pr.Tail)
+	}
+	if rec.MaxEpoch != 150 {
+		t.Fatalf("MaxEpoch %d, want 150 (the post-compaction record's epoch)", rec.MaxEpoch)
+	}
+	if st := w2.Stats(); st.Seq != 2 {
+		t.Fatalf("recovered seq %d, want 2", st.Seq)
+	}
+}
+
+// TestWALCorruptSnapshotFallsBack corrupts the newest snapshot and
+// checks recovery falls back to a clean start instead of refusing.
+func TestWALCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	w.Append(Record{Op: OpAddPlatform, Platform: "g5k", BaseEpoch: 1, Links: 4})
+	if err := w.Compact(State{MaxEpoch: 9, Platforms: []PlatformState{{Name: "g5k", BaseEpoch: 1, Links: 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	snap := filepath.Join(dir, "snap-00000002.snap")
+	img, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0xff
+	if err := os.WriteFile(snap, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery refused to start on a corrupt snapshot: %v", err)
+	}
+	defer w2.Close()
+	if len(rec.Platforms) != 0 {
+		t.Fatalf("corrupt snapshot yielded state: %+v", rec.Platforms)
+	}
+	if err := w2.Append(obsRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever,
+		"": FsyncInterval, " Always ": FsyncAlways,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+// TestWALIntervalPolicySurvivesClose checks that interval-mode appends
+// are on disk after Close (flush-on-close) and that the background
+// syncer shuts down cleanly.
+func TestWALIntervalPolicySurvivesClose(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncInterval})
+	w.Append(Record{Op: OpAddPlatform, Platform: "g5k", BaseEpoch: 1, Links: 4})
+	for i := 0; i < 10; i++ {
+		if err := w.Append(obsRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if pr := rec.Platforms["g5k"]; pr == nil || len(pr.Tail) != 10 {
+		t.Fatalf("interval-mode records lost across close: %+v", rec.Platforms["g5k"])
+	}
+}
