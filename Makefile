@@ -6,11 +6,12 @@ SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 # The key benchmarks: the two heaviest figure cells, the paper's
 # 30-transfer latency claim, the hypothesis-selection fan-out, the
-# snapshot layer's concurrency/copy-on-write claims, and the scenario
-# overlay/batched-evaluation claims.
-KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon|BenchmarkApplyOverlay|BenchmarkEvaluate30x8
+# snapshot layer's concurrency/copy-on-write claims, the scenario
+# overlay/batched-evaluation claims, and the warm-start differential
+# evaluation tiers (reuse/fork vs cold).
+KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon|BenchmarkApplyOverlay|BenchmarkEvaluate30x8|BenchmarkEvaluateDifferential30x8|BenchmarkForkVsCold
 
-.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline campaign-check recovery-check clean
+.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline campaign-check recovery-check profile clean
 
 all: vet build test
 
@@ -63,7 +64,7 @@ bench-smoke:
 # RunParallel benchmarks scale with the machine's core count and would
 # make a cross-machine comparison meaningless.
 bench-check: bench
-	go run ./cmd/benchdiff -match 'BenchmarkFigure|BenchmarkPredict30Transfers' BENCH_baseline.json BENCH_$(SHA).json
+	go run ./cmd/benchdiff -match 'BenchmarkFigure|BenchmarkPredict30Transfers|BenchmarkEvaluateDifferential30x8|BenchmarkForkVsCold' BENCH_baseline.json BENCH_$(SHA).json
 
 # bench-baseline refreshes the committed baseline from a fresh run; commit
 # the result whenever a PR intentionally shifts performance.
@@ -71,6 +72,17 @@ bench-baseline: bench
 	cp BENCH_$(SHA).json BENCH_baseline.json
 	@echo refreshed BENCH_baseline.json
 
+# profile captures CPU and allocation profiles of the evaluate hot path
+# (the differential and steady-state evaluate benchmarks exercise the
+# overlay, classification, fork, and cache layers). Inspect with
+# `go tool pprof profiles/evaluate_cpu.pprof`.
+profile:
+	mkdir -p profiles
+	go test -run '^$$' -bench 'BenchmarkEvaluateDifferential30x8|BenchmarkEvaluate30x8' -benchtime 1000x -count 1 \
+		-cpuprofile profiles/evaluate_cpu.pprof -memprofile profiles/evaluate_mem.pprof .
+	@echo wrote profiles/evaluate_cpu.pprof profiles/evaluate_mem.pprof
+
 clean:
 	rm -f bench_*.out
+	rm -rf profiles
 	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_baseline.json' -delete

@@ -1,0 +1,145 @@
+package pilgrim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"pilgrim/internal/scenario"
+)
+
+// TestEvaluateDifferentialMatchesCold is the evaluate-level bit-identity
+// property test of the warm-start tentpole: for random scenario batches —
+// bandwidth scales, latency sets, link and host failures, background
+// traffic, baselines — over random transfer and hypothesis workloads, a
+// differential evaluator (base-run reuse + checkpoint forks, the default)
+// must produce responses that marshal byte-identically to a cold
+// evaluator's (DisableDifferential, separate caches). Float64 JSON
+// round-trips exactly, so byte equality is bit equality of every
+// prediction.
+func TestEvaluateDifferentialMatchesCold(t *testing.T) {
+	base := newEvaluator(t)
+	entry, ok := base.Platforms.Get("p")
+	if !ok {
+		t.Fatal("platform p missing")
+	}
+	var hosts []string
+	for _, h := range entry.Platform.Hosts() {
+		hosts = append(hosts, h.ID)
+	}
+	var links []string
+	for _, l := range entry.Platform.Links() {
+		links = append(links, l.ID)
+	}
+	if len(hosts) < 3 || len(links) == 0 {
+		t.Fatalf("platform too small: %d hosts, %d links", len(hosts), len(links))
+	}
+
+	var totals EvaluateStats
+	for seed := int64(1); seed <= 42; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pair := func() (string, string) {
+			a := rng.Intn(len(hosts))
+			b := rng.Intn(len(hosts) - 1)
+			if b >= a {
+				b++
+			}
+			return hosts[a], hosts[b]
+		}
+		transfers := func() []TransferRequest {
+			out := make([]TransferRequest, 1+rng.Intn(4))
+			for i := range out {
+				src, dst := pair()
+				out[i] = TransferRequest{Src: src, Dst: dst, Size: 1e6 + rng.Float64()*1e9}
+			}
+			return out
+		}
+		var req EvaluateRequest
+		for si := 0; si < 1+rng.Intn(5); si++ {
+			sc := scenario.Scenario{Name: "s"}
+			for mi := 0; mi < rng.Intn(4); mi++ {
+				link := links[rng.Intn(len(links))]
+				switch rng.Intn(5) {
+				case 0:
+					sc.Mutations = append(sc.Mutations, scenario.Mutation{
+						Op: scenario.OpScaleLink, Link: link, BandwidthFactor: 0.2 + rng.Float64()})
+				case 1:
+					sc.Mutations = append(sc.Mutations, scenario.Mutation{
+						Op: scenario.OpSetLink, Link: link, Latency: fptr(rng.Float64() * 1e-2)})
+				case 2:
+					sc.Mutations = append(sc.Mutations, scenario.Mutation{
+						Op: scenario.OpFailLink, Link: link})
+				case 3:
+					sc.Mutations = append(sc.Mutations, scenario.Mutation{
+						Op: scenario.OpFailHost, Host: hosts[rng.Intn(len(hosts))]})
+				case 4:
+					src, dst := pair()
+					sc.Mutations = append(sc.Mutations, scenario.Mutation{
+						Op: scenario.OpBgTraffic, Src: src, Dst: dst, Flows: 1 + rng.Intn(2)})
+				}
+			}
+			req.Scenarios = append(req.Scenarios, sc)
+		}
+		for qi := 0; qi < 1+rng.Intn(3); qi++ {
+			q := EvalQuery{Kind: QueryPredictTransfers, Transfers: transfers()}
+			if rng.Intn(3) == 0 {
+				hyps := make([]Hypothesis, 2+rng.Intn(2))
+				for hi := range hyps {
+					hyps[hi] = Hypothesis{Transfers: transfers()}
+				}
+				q = EvalQuery{Kind: QuerySelectFastest, Hypotheses: hyps}
+			}
+			if rng.Intn(4) == 0 {
+				src, dst := pair()
+				q.Background = [][2]string{{src, dst}}
+			}
+			req.Queries = append(req.Queries, q)
+		}
+
+		// Fresh evaluator pair per seed: no cross-seed cache warmth, and
+		// the cold side must never observe the differential side's entries.
+		diff := &Evaluator{Platforms: base.Platforms, Cache: NewForecastCache(256),
+			Pool: NewWorkerPool(0), Overlays: NewOverlayCache(64)}
+		cold := &Evaluator{Platforms: base.Platforms, Cache: NewForecastCache(256),
+			Pool: NewWorkerPool(0), Overlays: NewOverlayCache(64), DisableDifferential: true}
+		respD, errD := diff.Evaluate("p", req)
+		respC, errC := cold.Evaluate("p", req)
+		if (errD != nil) != (errC != nil) {
+			t.Fatalf("seed %d: differential err %v, cold err %v", seed, errD, errC)
+		}
+		if errD != nil {
+			continue
+		}
+		// Epoch ids come from a process-global allocation counter, so the
+		// two evaluators may number the same derived pictures differently;
+		// provenance strings identify the pictures content-wise instead.
+		for i := range respD.Scenarios {
+			respD.Scenarios[i].Epoch = 0
+			respC.Scenarios[i].Epoch = 0
+		}
+		gotD, err := json.Marshal(respD.Scenarios)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gotC, err := json.Marshal(respC.Scenarios)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(gotD, gotC) {
+			t.Fatalf("seed %d: differential response differs from cold:\n%s\n---\n%s", seed, gotD, gotC)
+		}
+		totals.ForkReused += respD.Stats.ForkReused
+		totals.ForkRuns += respD.Stats.ForkRuns
+		totals.ForkCold += respD.Stats.ForkCold
+		totals.ForkResolvedConstraints += respD.Stats.ForkResolvedConstraints
+	}
+	// The sweep must exercise reuse, fork, and cold fallback, or the test
+	// proves less than it claims.
+	if totals.ForkReused == 0 || totals.ForkRuns == 0 || totals.ForkCold == 0 {
+		t.Fatalf("strategy coverage hole: %+v", totals)
+	}
+	if totals.ForkResolvedConstraints == 0 {
+		t.Fatalf("forks re-priced no constraints: %+v", totals)
+	}
+}

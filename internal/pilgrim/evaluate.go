@@ -151,10 +151,28 @@ type EvaluateStats struct {
 	// overlay cache (or was shared within the request) instead of a fresh
 	// ApplyOverlay.
 	OverlaysReused int `json:"overlays_reused"`
-	// Simulations counts sub-simulations actually executed; CacheHits
+	// Simulations counts sub-simulations actually executed (base runs,
+	// checkpoint forks, cold runs, and workflow forecasts alike); CacheHits
 	// counts sub-simulations answered from the forecast cache.
 	Simulations int `json:"simulations"`
 	CacheHits   int `json:"cache_hits"`
+	// BaseGroups is the number of distinct (base epoch, background)
+	// supergroups the differential evaluator collapsed the groups into —
+	// the unit of warm-start sharing. Zero when differential evaluation is
+	// disabled.
+	BaseGroups int `json:"base_groups,omitempty"`
+	// ForkReused counts derived-epoch cells answered by provably
+	// bit-identical reuse of the base answer (no simulation); ForkRuns
+	// counts cells answered by replaying the base engine's pre-run
+	// checkpoint on the derived epoch; ForkCold counts derived cells that
+	// fell back to a full cold run (delta touched schedule-time state).
+	ForkReused int `json:"fork_reused,omitempty"`
+	ForkRuns   int `json:"fork_runs,omitempty"`
+	ForkCold   int `json:"fork_cold,omitempty"`
+	// ForkResolvedConstraints totals the bandwidth-changed constraints the
+	// forks re-priced — the actual incremental-solver work the warm starts
+	// paid instead of full re-simulations.
+	ForkResolvedConstraints int `json:"fork_resolved_constraints,omitempty"`
 }
 
 // EvaluateResponse is the evaluate answer: one row per scenario, in
@@ -269,18 +287,30 @@ type Evaluator struct {
 	// defaults).
 	MaxScenarios int
 	MaxCells     int
+	// DisableDifferential forces every group to evaluate cold, turning off
+	// the warm-start base-run+delta machinery (the pilgrimd
+	// -differential-eval=false escape hatch). The zero value — differential
+	// evaluation on — is the intended configuration; results are
+	// bit-identical either way.
+	DisableDifferential bool
 }
 
 // evalGroup is one distinct (epoch, background) picture: the scenarios
 // that collapsed to it and the per-query results computed once for all of
 // them.
 type evalGroup struct {
-	entry     PlatformEntry // pinned to the group's derived epoch
-	bg        [][2]string   // canonical scenario background
-	scenarios []int         // request indices sharing this group
-	results   []EvalResult  // one per request query
-	sims      int           // sub-simulations this group executed
-	hits      int           // sub-simulations answered by the cache
+	entry     PlatformEntry        // pinned to the group's derived epoch
+	base      PlatformEntry        // pinned to the epoch the scenario derived from
+	delta     *platform.EpochDelta // derived-vs-base mutation classes (empty when entry is the base)
+	bg        [][2]string          // canonical scenario background
+	scenarios []int                // request indices sharing this group
+	results   []EvalResult         // one per request query
+	sims      int                  // sub-simulations this group executed
+	hits      int                  // sub-simulations answered by the cache
+	reused    int                  // derived cells answered by base-result reuse
+	forked    int                  // derived cells answered by checkpoint-fork replay
+	cold      int                  // derived cells that fell back to a cold run
+	resolved  int                  // constraints re-priced across this group's forks
 }
 
 // Evaluate answers one N×M batch for the named platform. Request-shape
@@ -384,6 +414,14 @@ func (ev *Evaluator) EvaluateCtx(ctx context.Context, name string, req EvaluateR
 				ev.Overlays.put(base.Epoch(), key, snap)
 			}
 		}
+		baseEntry := entry
+		baseEntry.Snapshot = base
+		delta := &platform.EpochDelta{}
+		if snap != base {
+			// O(mutations), no epoch walk: the resolved overlay knows
+			// exactly which resources it changed away from base values.
+			delta = resolved.Delta(base)
+		}
 		entry.Snapshot = snap
 		row.Epoch = snap.Epoch()
 		row.Provenance = snap.Provenance()
@@ -393,7 +431,7 @@ func (ev *Evaluator) EvaluateCtx(ctx context.Context, name string, req EvaluateR
 		gk := groupKey(snap.Epoch(), bg)
 		g := groups[gk]
 		if g == nil {
-			g = &evalGroup{entry: entry, bg: bg}
+			g = &evalGroup{entry: entry, base: baseEntry, delta: delta, bg: bg}
 			groups[gk] = g
 			order = append(order, g)
 		}
@@ -413,22 +451,47 @@ func (ev *Evaluator) EvaluateCtx(ctx context.Context, name string, req EvaluateR
 	pool.evalCalls.Add(1)
 	pool.evalCells.Add(uint64(resp.Stats.Cells))
 	pool.evalRuns.Add(uint64(len(order)))
-	if err := pool.RunCtx(ctx, len(order), func(gi int) {
-		g := order[gi]
-		g.results = ev.runGroup(name, g, req.Queries, templates)
-		pool.evalSims.Add(uint64(g.sims))
-	}); err != nil {
-		return nil, err
+	var supers []*superGroup
+	if ev.DisableDifferential {
+		if err := pool.RunCtx(ctx, len(order), func(gi int) {
+			g := order[gi]
+			g.results = ev.runGroup(name, g, req.Queries, templates)
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		// Groups deriving from one base epoch under one background picture
+		// share their base answers and fork handles: the supergroup is the
+		// unit of fan-out, evaluated serially inside one pool slot.
+		supers = buildSuperGroups(order)
+		resp.Stats.BaseGroups = len(supers)
+		if err := pool.RunCtx(ctx, len(supers), func(si int) {
+			ev.runSuperGroup(name, supers[si], req.Queries, templates)
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 3 (serial): fan group results back into the scenario rows.
+	for _, sg := range supers {
+		resp.Stats.Simulations += sg.baseSims
+	}
 	for _, g := range order {
 		resp.Stats.Simulations += g.sims
 		resp.Stats.CacheHits += g.hits
+		resp.Stats.ForkReused += g.reused
+		resp.Stats.ForkRuns += g.forked
+		resp.Stats.ForkCold += g.cold
+		resp.Stats.ForkResolvedConstraints += g.resolved
 		for _, si := range g.scenarios {
 			resp.Scenarios[si].Results = g.results
 		}
 	}
+	pool.evalSims.Add(uint64(resp.Stats.Simulations))
+	pool.evalForkReused.Add(uint64(resp.Stats.ForkReused))
+	pool.evalForkRuns.Add(uint64(resp.Stats.ForkRuns))
+	pool.evalForkCold.Add(uint64(resp.Stats.ForkCold))
+	pool.evalForkConstraints.Add(uint64(resp.Stats.ForkResolvedConstraints))
 	return resp, nil
 }
 
@@ -584,18 +647,15 @@ func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, te
 	// and later requests reuse the same canonical slice.
 	planPreds := make([][]Prediction, len(plan))
 	for slot, key := range invertPlanIndex(planIdx, len(plan)) {
-		pr := &planResults[slot]
-		if pr.Err != nil {
+		preds, err := planToPreds(&planResults[slot])
+		if err != nil {
 			continue
-		}
-		preds := make([]Prediction, len(pr.Results))
-		for i, r := range pr.Results {
-			preds[i] = Prediction{Src: r.Src, Dst: r.Dst, Size: r.Size, Duration: r.Duration}
 		}
 		planPreds[slot] = preds
 		ev.Cache.Store(key, preds)
 	}
-	canonicalOf := func(sub *planSub) ([]Prediction, error) {
+	foldSubResults(queries, templates, func(qi, si int) ([]Prediction, error) {
+		sub := &subs[qi][si]
 		if sub.cached != nil {
 			return sub.cached, nil
 		}
@@ -603,30 +663,47 @@ func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, te
 			return nil, err
 		}
 		return planPreds[sub.planSlot], nil
-	}
+	}, results)
+	return results
+}
 
+// planToPreds converts one plan result into canonical-order predictions.
+func planToPreds(pr *sim.PlanResult) ([]Prediction, error) {
+	if pr.Err != nil {
+		return nil, pr.Err
+	}
+	preds := make([]Prediction, len(pr.Results))
+	for i, r := range pr.Results {
+		preds[i] = Prediction{Src: r.Src, Dst: r.Dst, Size: r.Size, Duration: r.Duration}
+	}
+	return preds, nil
+}
+
+// foldSubResults assembles the predict_transfers and select_fastest cells
+// from their resolved canonical sub-answers; resolve returns the canonical
+// predictions (or the failure) of the si'th sub-simulation of query qi.
+// Workflow cells are untouched — they carry no transfer subs.
+func foldSubResults(queries []EvalQuery, templates [][]subTemplate, resolve func(qi, si int) ([]Prediction, error), results []EvalResult) {
 	for qi := range queries {
-		q := &queries[qi]
-		switch q.Kind {
+		switch queries[qi].Kind {
 		case QueryPredictTransfers:
-			sub := &subs[qi][0]
-			canonical, err := canonicalOf(sub)
+			canonical, err := resolve(qi, 0)
 			if err != nil {
 				results[qi].Error = err.Error()
 				continue
 			}
-			results[qi].Predictions = reorder(canonical, sub.tmpl.order)
+			results[qi].Predictions = reorder(canonical, templates[qi][0].order)
 		case QuerySelectFastest:
-			hyps := make([]HypothesisResult, len(subs[qi]))
+			hyps := make([]HypothesisResult, len(templates[qi]))
 			failed := false
-			for hi := range subs[qi] {
-				canonical, err := canonicalOf(&subs[qi][hi])
+			for hi := range templates[qi] {
+				canonical, err := resolve(qi, hi)
 				if err != nil {
 					results[qi].Error = fmt.Sprintf("hypothesis %d: %v", hi, err)
 					failed = true
 					break
 				}
-				preds := reorder(canonical, subs[qi][hi].tmpl.order)
+				preds := reorder(canonical, templates[qi][hi].order)
 				makespan := 0.0
 				for _, p := range preds {
 					if p.Duration > makespan {
@@ -648,7 +725,6 @@ func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, te
 			results[qi].Hypotheses = hyps
 		}
 	}
-	return results
 }
 
 // invertPlanIndex maps plan slots back to their canonical keys.
@@ -658,4 +734,298 @@ func invertPlanIndex(planIdx map[string]int, n int) []string {
 		keys[slot] = k
 	}
 	return keys
+}
+
+// superGroup is the unit of differential fan-out: every group that derives
+// from one base epoch under one scenario-background picture. The member
+// epochs differ from that base by small overlays, so the supergroup
+// answers its members against one set of base runs: cells whose query
+// footprint misses a member's delta reuse the base answer outright,
+// bandwidth-only overlaps replay from the base engine's pre-run
+// checkpoint, and the rest run cold — all bit-identical to evaluating
+// each member in isolation (see internal/sim/diff.go for the soundness
+// argument).
+type superGroup struct {
+	base     PlatformEntry
+	bg       [][2]string
+	members  []*evalGroup
+	baseSims int // base-epoch sub-simulations run on behalf of the members
+}
+
+func buildSuperGroups(order []*evalGroup) []*superGroup {
+	index := make(map[string]*superGroup)
+	var supers []*superGroup
+	for _, g := range order {
+		k := groupKey(g.base.snapshot().Epoch(), g.bg)
+		sg := index[k]
+		if sg == nil {
+			sg = &superGroup{base: g.base, bg: g.bg}
+			index[k] = sg
+			supers = append(supers, sg)
+		}
+		sg.members = append(sg.members, g)
+	}
+	return supers
+}
+
+// diffSub is one distinct sub-simulation of a supergroup. Members share
+// one background picture, so every member asks the sub with identical
+// transfers and merged background: one base answer — and one fork handle —
+// serves the whole member set. Its cache key under any epoch is that
+// epoch's prefix plus frag.
+type diffSub struct {
+	tmpl *subTemplate
+	frag string
+	plan sim.PlanQuery
+	fp   *sim.Footprint // lazy: only computed when some member misses
+}
+
+// footprint resolves (once) the sub's resource footprint on the base
+// epoch; routes are topology-level, so it is valid for every member.
+func (ds *diffSub) footprint(base *platform.Snapshot) *sim.Footprint {
+	if ds.fp == nil {
+		f := sim.PlanFootprint(base, &ds.plan)
+		ds.fp = &f
+	}
+	return ds.fp
+}
+
+// subAnswer is one resolved sub-simulation: canonical predictions or the
+// simulation's error.
+type subAnswer struct {
+	preds []Prediction
+	err   error
+	have  bool
+}
+
+// runSuperGroup answers every member group of one base epoch. Per member
+// it first probes the member's own cache keys (exactly like a cold group
+// would), classifies the remaining subs against the member's delta, then
+// resolves them by base-answer reuse, checkpoint fork, or batched cold
+// runs. All counters live on the member groups except baseSims, which
+// counts base-epoch work attributable to the supergroup as a whole.
+func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQuery, templates [][]subTemplate) {
+	// A lone member sitting on its own base epoch has nothing to diff
+	// against — the classic path is strictly cheaper.
+	if len(sg.members) == 1 && sg.members[0].delta.Empty() {
+		g := sg.members[0]
+		g.results = ev.runGroup(name, g, queries, templates)
+		return
+	}
+
+	base := sg.base.snapshot()
+	basePrefix := cacheKeyPrefix(name, sg.base)
+
+	// Collect the distinct sub-simulations of the member set and map every
+	// (query, sub) instance onto them.
+	var dsubs []diffSub
+	dedup := make(map[string]int)
+	inst := make([][]int, len(queries))
+	for qi := range queries {
+		if templates[qi] == nil {
+			continue
+		}
+		inst[qi] = make([]int, len(templates[qi]))
+		for si := range templates[qi] {
+			tmpl := &templates[qi][si]
+			bg := sg.bg
+			if len(tmpl.extraBg) > 0 {
+				bg = canonicalBackground(append(append([][2]string(nil), sg.bg...), tmpl.extraBg...))
+			}
+			frag := tmpl.tKey + backgroundKey(bg)
+			di, ok := dedup[frag]
+			if !ok {
+				di = len(dsubs)
+				dedup[frag] = di
+				dsubs = append(dsubs, diffSub{
+					tmpl: tmpl,
+					frag: frag,
+					plan: sim.PlanQuery{Transfers: tmpl.sims, Background: bg},
+				})
+			}
+			inst[qi][si] = di
+		}
+	}
+
+	// Per member: probe the member's cache keys per instance (preserving
+	// the classic path's hit accounting: a repeated instance is an in-plan
+	// dedup hit) and classify what is left against the member's delta.
+	type memberState struct {
+		g       *evalGroup
+		prefix  string
+		answers []subAnswer
+		need    []int // dsub indices this member still has to resolve
+		class   []sim.DeltaClass
+		cold    []int // dsub indices falling back to a cold run
+	}
+	needBase := make([]bool, len(dsubs))
+	wantCk := make([]bool, len(dsubs))
+	members := make([]*memberState, len(sg.members))
+	for mi, g := range sg.members {
+		m := &memberState{
+			g:       g,
+			prefix:  cacheKeyPrefix(name, g.entry),
+			answers: make([]subAnswer, len(dsubs)),
+			class:   make([]sim.DeltaClass, len(dsubs)),
+		}
+		members[mi] = m
+		needed := make([]bool, len(dsubs))
+		for qi := range queries {
+			for _, di := range inst[qi] {
+				if m.answers[di].have {
+					g.hits++ // cached answer shared by a repeated instance
+					continue
+				}
+				if needed[di] {
+					g.hits++ // in-plan dedup: identical sub already pending
+					continue
+				}
+				if preds, ok := ev.Cache.Lookup(m.prefix + dsubs[di].frag); ok {
+					m.answers[di] = subAnswer{preds: preds, have: true}
+					g.hits++
+					continue
+				}
+				needed[di] = true
+				m.need = append(m.need, di)
+			}
+		}
+		for _, di := range m.need {
+			cls := sim.ClassReuse
+			if !g.delta.Empty() {
+				cls = dsubs[di].footprint(base).Classify(g.delta)
+			}
+			m.class[di] = cls
+			if cls == sim.ClassReuse || cls == sim.ClassFork {
+				needBase[di] = true
+				if cls == sim.ClassFork {
+					wantCk[di] = true
+				}
+			}
+		}
+	}
+
+	// Resolve the base answers the members need: from the forecast cache
+	// when an earlier request already paid for them (capturing a fork
+	// handle separately costs only the plan setup), else by running the
+	// missing base subs as one batch with checkpoints where forks want
+	// them.
+	baseAns := make([]subAnswer, len(dsubs))
+	cks := make([]*sim.PlanCheckpoint, len(dsubs))
+	var runIdx []int
+	for di := range dsubs {
+		if !needBase[di] {
+			continue
+		}
+		if preds, ok := ev.Cache.Lookup(basePrefix + dsubs[di].frag); ok {
+			baseAns[di] = subAnswer{preds: preds, have: true}
+			if wantCk[di] {
+				cks[di] = sim.CheckpointPlan(base, sg.base.Config, dsubs[di].plan)
+			}
+			continue
+		}
+		runIdx = append(runIdx, di)
+	}
+	if len(runIdx) > 0 {
+		plan := make([]sim.PlanQuery, len(runIdx))
+		want := make([]bool, len(runIdx))
+		for j, di := range runIdx {
+			plan[j] = dsubs[di].plan
+			want[j] = wantCk[di]
+		}
+		res, pcs := sim.RunPlanCheckpoints(base, sg.base.Config, plan, want)
+		sg.baseSims += len(runIdx)
+		for j, di := range runIdx {
+			preds, err := planToPreds(&res[j])
+			baseAns[di] = subAnswer{preds: preds, err: err, have: true}
+			cks[di] = pcs[j]
+			if err == nil {
+				ev.Cache.Store(basePrefix+dsubs[di].frag, preds)
+			}
+		}
+	}
+
+	// Answer each member's remaining subs by the cheapest sound strategy,
+	// memoizing successes under the member's own keys so the next request
+	// short-circuits at the cache probes above. The base-epoch member (if
+	// any) resolves everything as reuse against keys it already owns; its
+	// reuses are plain dedup, not differential wins, so the fork counters
+	// only move for members with a real delta.
+	for _, m := range members {
+		g := m.g
+		derived := g.delta != nil && !g.delta.Empty()
+		for _, di := range m.need {
+			if m.class[di] == sim.ClassFork {
+				if pc := cks[di]; pc != nil {
+					if pr, ok := pc.Fork(g.entry.snapshot()); ok {
+						preds, err := planToPreds(&pr)
+						m.answers[di] = subAnswer{preds: preds, err: err, have: true}
+						g.sims++
+						g.forked++
+						g.resolved += dsubs[di].footprint(base).TouchedBw(g.delta)
+						if err == nil {
+							ev.Cache.Store(m.prefix+dsubs[di].frag, preds)
+						}
+						continue
+					}
+				}
+				m.class[di] = sim.ClassCold // no handle (base setup failed) or fork refused
+			}
+			switch m.class[di] {
+			case sim.ClassReuse:
+				m.answers[di] = baseAns[di]
+				if derived {
+					g.reused++
+					if baseAns[di].err == nil {
+						ev.Cache.Store(m.prefix+dsubs[di].frag, baseAns[di].preds)
+					}
+				}
+			case sim.ClassCold:
+				m.cold = append(m.cold, di)
+			}
+		}
+		if len(m.cold) > 0 {
+			plan := make([]sim.PlanQuery, len(m.cold))
+			for j, di := range m.cold {
+				plan[j] = dsubs[di].plan
+			}
+			res := sim.RunPlan(g.entry.snapshot(), g.entry.Config, plan)
+			g.sims += len(plan)
+			for j, di := range m.cold {
+				preds, err := planToPreds(&res[j])
+				m.answers[di] = subAnswer{preds: preds, err: err, have: true}
+				if derived {
+					g.cold++
+				}
+				if err == nil {
+					ev.Cache.Store(m.prefix+dsubs[di].frag, preds)
+				}
+			}
+		}
+
+		// Workflow cells bypass the transfer machinery entirely, exactly as
+		// in the classic path.
+		results := make([]EvalResult, len(queries))
+		for qi := range queries {
+			q := &queries[qi]
+			if q.Kind != QueryPredictWorkflow {
+				continue
+			}
+			bg := g.bg
+			if len(q.Background) > 0 {
+				bg = canonicalBackground(append(append([][2]string(nil), g.bg...), q.Background...))
+			}
+			f, err := workflow.PredictWithBackground(g.entry.snapshot(), g.entry.Config, q.Workflow, bg)
+			g.sims++
+			if err != nil {
+				results[qi].Error = err.Error()
+			} else {
+				results[qi].Forecast = f
+			}
+		}
+		foldSubResults(queries, templates, func(qi, si int) ([]Prediction, error) {
+			a := &m.answers[inst[qi][si]]
+			return a.preds, a.err
+		}, results)
+		g.results = results
+	}
 }

@@ -169,12 +169,22 @@ func TestEvaluateDedup(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 4 scenarios collapse to 2 epochs; 3 queries contain 2 distinct
-	// workloads: at most 2×2 = 4 simulations for 12 cells.
-	if resp.Stats.Cells != 12 || resp.Stats.Groups != 2 {
+	// workloads: 2×2 = 4 distinct triples for 12 cells. Differential
+	// evaluation squeezes further: both base-epoch subs simulate once, the
+	// derived epoch answers the NIC-avoiding sub by provable reuse of the
+	// base answer and the NIC-crossing sub by a checkpoint fork — 3
+	// simulations total, one of them a cheap warm start.
+	if resp.Stats.Cells != 12 || resp.Stats.Groups != 2 || resp.Stats.BaseGroups != 1 {
 		t.Fatalf("stats = %+v", resp.Stats)
 	}
-	if resp.Stats.Simulations != 4 {
-		t.Errorf("simulations = %d, want 4 (one per distinct triple)", resp.Stats.Simulations)
+	if resp.Stats.Simulations != 3 {
+		t.Errorf("simulations = %d, want 3 (2 base + 1 fork)", resp.Stats.Simulations)
+	}
+	if resp.Stats.ForkReused != 1 || resp.Stats.ForkRuns != 1 || resp.Stats.ForkCold != 0 {
+		t.Errorf("fork stats = %+v", resp.Stats)
+	}
+	if resp.Stats.ForkResolvedConstraints < 1 {
+		t.Errorf("fork resolved constraints = %d, want >= 1", resp.Stats.ForkResolvedConstraints)
 	}
 	if resp.Stats.OverlaysReused != 2 {
 		t.Errorf("overlays reused = %d, want 2 (twin + equivalent)", resp.Stats.OverlaysReused)
@@ -187,11 +197,14 @@ func TestEvaluateDedup(t *testing.T) {
 	}
 	// Worker counters agree.
 	ws := ev.Pool.Stats()
-	if ws.EvaluateSims != 4 || ws.EvaluateCells != 12 || ws.EvaluateGroupRuns != 2 || ws.EvaluateCalls != 1 {
+	if ws.EvaluateSims != 3 || ws.EvaluateCells != 12 || ws.EvaluateGroupRuns != 2 || ws.EvaluateCalls != 1 {
 		t.Errorf("worker stats = %+v", ws)
 	}
-	// Cache counters: 6 sub-simulation lookups, 2 answered by in-plan
-	// dedup before any cache entry existed.
+	if ws.EvaluateForkReused != 1 || ws.EvaluateForkRuns != 1 || ws.EvaluateForkCold != 0 {
+		t.Errorf("worker fork stats = %+v", ws)
+	}
+	// Cache counters: 4 member-key probes (the repeated query deduplicates
+	// before the cache) plus 2 base-key probes, no entry yet to hit.
 	cs := ev.Cache.Stats()
 	if cs.Misses != 6 || cs.Hits != 0 {
 		t.Errorf("cache stats after first batch = %+v", cs)

@@ -39,6 +39,10 @@ type Server struct {
 	maxScenarios atomic.Int64
 	maxCells     atomic.Int64
 
+	// differentialOff disables warm-start differential evaluation (the
+	// -differential-eval=false escape hatch); the zero value keeps it on.
+	differentialOff atomic.Bool
+
 	// admission bounds the simulation endpoints (nil: unlimited);
 	// maxBodyBytes caps request bodies on the body-carrying endpoints
 	// (0 selects DefaultMaxBodyBytes).
@@ -209,16 +213,25 @@ func finishCtx(w http.ResponseWriter, err error) bool {
 	return false
 }
 
+// SetDifferentialEval enables (the default) or disables warm-start
+// differential evaluation of derived scenario epochs — the pilgrimd
+// -differential-eval flag. Disabling it forces every group to simulate
+// cold; results are bit-identical either way.
+func (s *Server) SetDifferentialEval(on bool) {
+	s.differentialOff.Store(!on)
+}
+
 // evaluator assembles the evaluate machinery from the server's live
 // configuration.
 func (s *Server) evaluator() *Evaluator {
 	return &Evaluator{
-		Platforms:    s.platforms,
-		Cache:        s.cache.Load(),
-		Pool:         s.pool.Load(),
-		Overlays:     s.overlays.Load(),
-		MaxScenarios: int(s.maxScenarios.Load()),
-		MaxCells:     int(s.maxCells.Load()),
+		Platforms:           s.platforms,
+		Cache:               s.cache.Load(),
+		Pool:                s.pool.Load(),
+		Overlays:            s.overlays.Load(),
+		MaxScenarios:        int(s.maxScenarios.Load()),
+		MaxCells:            int(s.maxCells.Load()),
+		DisableDifferential: s.differentialOff.Load(),
 	}
 }
 

@@ -36,6 +36,14 @@ type WorkerPool struct {
 	evalCells atomic.Uint64
 	evalRuns  atomic.Uint64
 	evalSims  atomic.Uint64
+
+	// Differential-evaluation telemetry: derived cells answered by base
+	// reuse, by checkpoint-fork replay, by cold fallback, and the
+	// constraints the forks re-priced.
+	evalForkReused      atomic.Uint64
+	evalForkRuns        atomic.Uint64
+	evalForkCold        atomic.Uint64
+	evalForkConstraints atomic.Uint64
 }
 
 // NewWorkerPool returns a pool running up to workers hypothesis
@@ -63,11 +71,11 @@ func (p *WorkerPool) release() {
 type WorkerStats struct {
 	// Workers is the configured pool width (-forecast-workers).
 	Workers int `json:"workers"`
-	// Busy and Queued are instantaneous: hypotheses simulating right now
-	// and hypotheses waiting for a free worker.
+	// Busy and Queued are instantaneous: batch workers running right now
+	// and workers waiting for a free slot (each worker drains many items).
 	Busy   int64 `json:"busy"`
 	Queued int64 `json:"queued"`
-	// MaxBusy is the high-water mark of concurrently running simulations.
+	// MaxBusy is the high-water mark of concurrently running workers.
 	MaxBusy int64 `json:"max_busy"`
 	// Hypotheses counts hypothesis simulations completed through the
 	// pool; Batches counts the select_fastest calls that spawned them.
@@ -82,6 +90,13 @@ type WorkerStats struct {
 	EvaluateCells     uint64 `json:"evaluate_cells"`
 	EvaluateGroupRuns uint64 `json:"evaluate_group_runs"`
 	EvaluateSims      uint64 `json:"evaluate_simulations"`
+	// Differential-evaluation totals: derived cells answered by provable
+	// base-answer reuse (no simulation), by checkpoint-fork replay, by
+	// cold fallback, and the bandwidth constraints the forks re-priced.
+	EvaluateForkReused      uint64 `json:"evaluate_fork_reused"`
+	EvaluateForkRuns        uint64 `json:"evaluate_fork_runs"`
+	EvaluateForkCold        uint64 `json:"evaluate_fork_cold"`
+	EvaluateForkConstraints uint64 `json:"evaluate_fork_resolved_constraints"`
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -93,42 +108,81 @@ func (p *WorkerPool) Stats() WorkerStats {
 		MaxBusy:           p.maxBusy.Load(),
 		Hypotheses:        p.evaluated.Load(),
 		Batches:           p.batches.Load(),
-		EvaluateCalls:     p.evalCalls.Load(),
-		EvaluateCells:     p.evalCells.Load(),
-		EvaluateGroupRuns: p.evalRuns.Load(),
-		EvaluateSims:      p.evalSims.Load(),
+		EvaluateCalls:           p.evalCalls.Load(),
+		EvaluateCells:           p.evalCells.Load(),
+		EvaluateGroupRuns:       p.evalRuns.Load(),
+		EvaluateSims:            p.evalSims.Load(),
+		EvaluateForkReused:      p.evalForkReused.Load(),
+		EvaluateForkRuns:        p.evalForkRuns.Load(),
+		EvaluateForkCold:        p.evalForkCold.Load(),
+		EvaluateForkConstraints: p.evalForkConstraints.Load(),
 	}
 }
 
-// Run executes fn(0..n-1) concurrently over the pool and blocks until all
-// calls return. Each invocation occupies one pool slot, so Run composes
-// with concurrent select_fastest and evaluate traffic under the same
-// width bound.
+// Run executes fn(0..n-1) over the pool and blocks until all calls
+// return. Each batch worker occupies one pool slot, so Run composes with
+// concurrent select_fastest and evaluate traffic under the same width
+// bound.
 func (p *WorkerPool) Run(n int, fn func(int)) {
 	p.RunCtx(context.Background(), n, fn)
 }
 
-// RunCtx is Run with a cancellation point at slot acquisition: once ctx
-// is done, invocations still waiting for a worker are skipped (running
+// RunCtx is Run with a cancellation point at slot acquisition and between
+// items: once ctx is done, items not yet started are skipped (running
 // ones finish — a simulation is not interruptible mid-run) and the
 // context error is returned. Under a loaded pool this bounds how long a
 // deadline-carrying request can wait behind other traffic.
+//
+// The batch runs on min(pool width, GOMAXPROCS, n) workers, each holding
+// one slot and pulling the next index from a shared counter. With one
+// worker — always the case on a single-CPU host — the whole batch runs
+// inline on the caller under a single slot acquisition: per-item
+// goroutine dispatch costs more than a small simulation when there is no
+// parallelism to buy. Extra workers beyond GOMAXPROCS would only add
+// scheduling overhead for these CPU-bound items, so they are never
+// spawned.
 func (p *WorkerPool) RunCtx(ctx context.Context, n int, fn func(int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	width := cap(p.slots)
+	if w := runtime.GOMAXPROCS(0); w < width {
+		width = w
+	}
+	if n < width {
+		width = n
+	}
+	if width <= 1 {
+		if !p.acquireCtx(ctx) {
+			return ctx.Err()
+		}
+		defer p.release()
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if !p.acquireCtx(ctx) {
+	worker := func() {
+		defer wg.Done()
+		if !p.acquireCtx(ctx) {
+			return
+		}
+		defer p.release()
+		for ctx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= n {
 				return
 			}
-			defer p.release()
 			fn(i)
-		}(i)
+		}
 	}
+	wg.Add(width)
+	for w := 1; w < width; w++ {
+		go worker()
+	}
+	worker()
 	wg.Wait()
 	return ctx.Err()
 }

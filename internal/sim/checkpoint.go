@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+
+	"pilgrim/internal/flow"
+	"pilgrim/internal/platform"
+)
+
+// Engine checkpoint/fork — the warm-start half of differential scenario
+// evaluation. A checkpoint is a complete value copy of the engine's
+// dynamic state: simulated clock, activity arena, event heap, free lists,
+// completion ledger, and the flow system (via flow.Checkpoint). Restoring
+// it into another engine reproduces the captured simulation exactly; the
+// receiving engine keeps its own snapshot binding, which is the fork
+// lever: an engine checkpointed before its event loop starts (activities
+// scheduled, no constraint materialized yet) and restored into an engine
+// bound to a DERIVED epoch of the same topology replays bit-identically
+// to a cold run on that epoch, provided the derived epoch differs from
+// the capture epoch only in ways the captured activities never read at
+// schedule time — in practice: bandwidth changes only, no latency or
+// availability changes on any link/host the activities touch (package
+// pilgrim's classifier enforces exactly that, falling back to a cold run
+// otherwise). Bandwidths are read lazily per activation from the bound
+// snapshot, so the fork re-prices the changed links for free and the
+// incremental solver re-solves only the components they disturb.
+//
+// Checkpoints cannot capture completion callbacks: Checkpoint errors if
+// any live activity carries an onDone closure. The plan runner collects
+// results through Done instead.
+
+// EngineCheckpoint is an immutable copy of an Engine's dynamic state.
+// It is independent of the source engine: the source may keep running,
+// be Reset, or be released to the pool, and any number of engines can
+// restore from one checkpoint.
+type EngineCheckpoint struct {
+	cfg  Config
+	snap *platform.Snapshot // capture-time epoch (topology anchor)
+
+	now    float64
+	nextID ActivityID
+	live   int
+	dirty  bool
+	events int
+
+	arena       []activity // value copies; fv/onDone stripped
+	fvOf        []int32    // per slot: flow-checkpoint variable index, -1
+	freeSlots   []int32
+	pendingFree []int32
+	slotOf      []int32
+	doneAt      []float64
+	heapKey     []float64
+	heapSlot    []int32
+	heapPos     []int32
+
+	flow     *flow.Checkpoint
+	cnstLink []int32 // per flow-constraint: backing LinkRef, -1
+	cnstHost []int32 // per flow-constraint: backing host index, -1
+}
+
+// Snapshot returns the platform epoch the checkpoint was captured on.
+func (ck *EngineCheckpoint) Snapshot() *platform.Snapshot { return ck.snap }
+
+// Config returns the model configuration of the captured engine.
+func (ck *EngineCheckpoint) Config() Config { return ck.cfg }
+
+// Checkpoint captures the engine's complete dynamic state. It fails if a
+// live activity carries a completion callback (closures cannot be
+// captured); schedule with nil onDone and read completions through Done
+// when checkpointing is intended.
+func (e *Engine) Checkpoint() (*EngineCheckpoint, error) {
+	for id, slot := range e.slotOf {
+		if slot >= 0 && e.arena[slot].onDone != nil {
+			return nil, fmt.Errorf("sim: cannot checkpoint: activity %d has a completion callback", id)
+		}
+	}
+	ck := &EngineCheckpoint{
+		cfg:    e.cfg,
+		snap:   e.snap,
+		now:    e.now,
+		nextID: e.nextID,
+		live:   e.live,
+		dirty:  e.dirty,
+		events: e.events,
+
+		arena:       make([]activity, len(e.arena)),
+		fvOf:        make([]int32, len(e.arena)),
+		freeSlots:   append([]int32(nil), e.freeSlots...),
+		pendingFree: append([]int32(nil), e.pendingFree...),
+		slotOf:      append([]int32(nil), e.slotOf...),
+		doneAt:      append([]float64(nil), e.doneAt...),
+		heapKey:     append([]float64(nil), e.heapKey...),
+		heapSlot:    append([]int32(nil), e.heapSlot...),
+		heapPos:     append([]int32(nil), e.heapPos...),
+
+		flow: e.sys.Checkpoint(),
+	}
+	vidx := make(map[*flow.Variable]int32, len(e.sys.Variables()))
+	for i, v := range e.sys.Variables() {
+		vidx[v] = int32(i)
+	}
+	for i, a := range e.arena {
+		ck.arena[i] = *a
+		ck.arena[i].fv = nil
+		ck.arena[i].onDone = nil
+		ck.fvOf[i] = -1
+		if a.fv != nil {
+			ck.fvOf[i] = vidx[a.fv]
+		}
+	}
+	nc := len(e.sys.Constraints())
+	ck.cnstLink = make([]int32, nc)
+	ck.cnstHost = make([]int32, nc)
+	for i := range ck.cnstLink {
+		ck.cnstLink[i], ck.cnstHost[i] = -1, -1
+	}
+	cidx := make(map[*flow.Constraint]int32, nc)
+	for i, c := range e.sys.Constraints() {
+		cidx[c] = int32(i)
+	}
+	for ref, c := range e.linkCnst {
+		if c != nil {
+			ck.cnstLink[cidx[c]] = int32(ref)
+		}
+	}
+	for hi, c := range e.hostCnst {
+		if c != nil {
+			ck.cnstHost[cidx[c]] = int32(hi)
+		}
+	}
+	return ck, nil
+}
+
+// RestoreCheckpoint replaces the engine's dynamic state with the
+// checkpoint's. The engine keeps its own snapshot binding — restoring
+// into an engine bound to a different epoch of the same compiled topology
+// is the fork path (see ForkFrom); restoring into one bound to the
+// capture epoch resumes the captured simulation exactly. The engine's
+// configuration must equal the captured one, and its snapshot must share
+// the checkpoint's topology.
+func (e *Engine) RestoreCheckpoint(ck *EngineCheckpoint) error {
+	if e.cfg != ck.cfg {
+		return fmt.Errorf("sim: restore into engine with different model configuration")
+	}
+	if !platform.SameTopology(e.snap, ck.snap) {
+		return fmt.Errorf("sim: restore across incompatible topologies")
+	}
+	vars, cnsts := e.sys.Restore(ck.flow)
+	clear(e.linkCnst)
+	clear(e.hostCnst)
+	for i, c := range cnsts {
+		if ref := ck.cnstLink[i]; ref >= 0 {
+			e.linkCnst[ref] = c
+		}
+		if hi := ck.cnstHost[i]; hi >= 0 {
+			e.hostCnst[hi] = c
+		}
+	}
+	n := len(ck.arena)
+	for len(e.arena) < n {
+		e.arena = append(e.arena, new(activity))
+		e.heapPos = append(e.heapPos, -1)
+	}
+	e.arena = e.arena[:n]
+	e.heapPos = append(e.heapPos[:0], ck.heapPos...)
+	for i := 0; i < n; i++ {
+		a := e.arena[i]
+		*a = ck.arena[i]
+		if vi := ck.fvOf[i]; vi >= 0 {
+			a.fv = vars[vi]
+			a.fv.SetData(a)
+		}
+	}
+	e.freeSlots = append(e.freeSlots[:0], ck.freeSlots...)
+	e.pendingFree = append(e.pendingFree[:0], ck.pendingFree...)
+	e.slotOf = append(e.slotOf[:0], ck.slotOf...)
+	e.doneAt = append(e.doneAt[:0], ck.doneAt...)
+	e.heapKey = append(e.heapKey[:0], ck.heapKey...)
+	e.heapSlot = append(e.heapSlot[:0], ck.heapSlot...)
+	e.due = e.due[:0]
+	e.now = ck.now
+	e.nextID = ck.nextID
+	e.live = ck.live
+	e.dirty = ck.dirty
+	e.events = ck.events
+	return nil
+}
+
+// ReconcileCapacities re-asserts every materialized flow constraint's
+// capacity from the engine's bound snapshot and returns how many actually
+// changed (SetCapacity no-ops on equal values, so unchanged resources
+// dirty nothing). After a cross-epoch restore this re-prices the restored
+// constraints against the new epoch; the next resharing then re-solves
+// only the components the changed capacities disturb. Note that a C0
+// checkpoint (taken before the event loop) has no materialized
+// constraints — they are created lazily at activation, already reading
+// the new snapshot — so reconciliation there is a no-op.
+func (e *Engine) ReconcileCapacities() int {
+	changed := 0
+	for ref, c := range e.linkCnst {
+		if c == nil {
+			continue
+		}
+		li := platform.LinkRef(ref).LinkIndex()
+		if e.sys.SetCapacity(c, e.snap.LinkBandwidth(li)*e.cfg.BandwidthFactor) {
+			changed++
+		}
+	}
+	for hi, c := range e.hostCnst {
+		if c == nil {
+			continue
+		}
+		if e.sys.SetCapacity(c, e.snap.HostSpeed(int32(hi))) {
+			changed++
+		}
+	}
+	if changed > 0 {
+		e.dirty = true
+	}
+	return changed
+}
+
+// ForkFrom acquires a pooled engine bound to snap, restores the base
+// checkpoint into it, and reconciles constraint capacities against snap.
+// snap must be an epoch of the checkpoint's compiled topology. The caller
+// owns the returned engine and must ReleaseEngine it.
+//
+// Forking is bit-identical to a cold run on snap only when the checkpoint
+// was captured before the event loop (no activity past phaseScheduled)
+// and snap differs from the capture epoch solely in link bandwidths of
+// up-in-both links — the conditions package pilgrim's delta classifier
+// checks before choosing this path. Forks outside those conditions still
+// run, but are approximations (rate history is not replayed).
+func ForkFrom(ck *EngineCheckpoint, snap *platform.Snapshot) (*Engine, error) {
+	e := AcquireEngineSnapshot(snap, ck.cfg)
+	if err := e.RestoreCheckpoint(ck); err != nil {
+		ReleaseEngine(e)
+		return nil, err
+	}
+	e.ReconcileCapacities()
+	return e, nil
+}
