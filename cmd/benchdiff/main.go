@@ -10,6 +10,15 @@
 // threshold (default 25%). Improvements and new/removed benchmarks are
 // reported but never fail the comparison; CI noise is expected, so the
 // threshold should stay well above run-to-run jitter.
+//
+// A second mode asserts scaling ratios WITHIN one document — used by
+// `make bench-fleet` to gate the sharded-fleet speedup, which cannot be
+// compared across machines:
+//
+//	benchdiff -scale 'base,variant,minratio[;...]' current.json
+//
+// Each spec requires ns/op(base) / ns/op(variant) >= minratio, i.e. the
+// variant must be at least minratio times faster than the base.
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type entry struct {
@@ -49,10 +60,64 @@ func load(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+// runScale is the single-document ratio mode: every "base,variant,min"
+// spec must satisfy ns/op(base)/ns/op(variant) >= min. Returns the exit
+// status.
+func runScale(spec, path string) int {
+	vals, err := load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	failed := false
+	for _, s := range strings.Split(spec, ";") {
+		parts := strings.Split(strings.TrimSpace(s), ",")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -scale spec %q (want base,variant,minratio)\n", s)
+			return 2
+		}
+		minRatio, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad ratio in %q: %v\n", s, err)
+			return 2
+		}
+		base, ok := vals[parts[0]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s not in %s\n", parts[0], path)
+			return 2
+		}
+		variant, ok := vals[parts[1]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s not in %s\n", parts[1], path)
+			return 2
+		}
+		ratio := base / variant
+		status := "ok"
+		if ratio < minRatio {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s / %s = %.2fx (want >= %.2fx)  %s\n", parts[0], parts[1], ratio, minRatio, status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: scaling below the required ratio")
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
 	match := flag.String("match", "", "only compare benchmarks matching this regexp (default: all)")
+	scale := flag.String("scale", "", "ratio mode: 'base,variant,minratio[;...]' specs checked within ONE document")
 	flag.Parse()
+	if *scale != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -scale 'base,variant,minratio[;...]' current.json")
+			os.Exit(2)
+		}
+		os.Exit(runScale(*scale, flag.Arg(0)))
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] [-match re] baseline.json current.json")
 		os.Exit(2)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pilgrimd [-addr :8080] [-g5k-api URL] [-rrd-tree DIR]
+//	         [-platforms LIST]
 //	         [-gamma-latfactor] [-equipment-limits] [-measured-latencies]
 //	         [-forecast-cache N] [-forecast-workers N]
 //	         [-timeline-depth N] [-forecast-horizon-max D]
@@ -12,11 +13,14 @@
 //	         [-data-dir DIR] [-fsync POLICY] [-snapshot-every N]
 //	         [-max-inflight N] [-max-queue N] [-max-body-bytes N]
 //	         [-drain-timeout D]
+//	         [-shard-self NAME] [-shards LIST] [-shard-map FILE]
 //
-// Platforms g5k_test and g5k_cabinets are generated from the Grid'5000
-// reference description — fetched from a reference API server when
-// -g5k-api is given, otherwise the embedded dataset — compiled into
-// immutable snapshots and registered under their paper names. Live
+// The -platforms list (default g5k_test,g5k_cabinets; g5k_mini — the
+// compact two-site flavour campaigns use — is also available) is
+// generated from the Grid'5000 reference description — fetched from a
+// reference API server when -g5k-api is given, otherwise the embedded
+// dataset — compiled into immutable snapshots and registered under the
+// paper names. Live
 // measurements can be folded into a platform at runtime through
 // POST /pilgrim/update_links/{platform} (see docs/API.md); each
 // timestamped observation appends a new copy-on-write epoch to the
@@ -42,6 +46,14 @@
 // queue, requests are shed with 429 + Retry-After. SIGTERM/SIGINT drain
 // gracefully: the listener closes, in-flight requests get -drain-timeout
 // to finish, and the durable store is flushed and closed.
+//
+// In a sharded fleet behind pilgrimgw, -shard-self names this worker in
+// the shard map given by -shards ("name=url,..." ) and/or -shard-map (a
+// JSON file); platform-scoped requests for platforms the rendezvous
+// ring assigns elsewhere are rejected with 421 and the owner's URL, so
+// a misconfigured client (or a gateway with a stale map) fails loudly
+// instead of computing against the wrong timeline. SIGHUP re-reads
+// -shard-map. See docs/OPERATIONS.md ("Running a fleet").
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,15 +71,21 @@ import (
 	"pilgrim/internal/metrology"
 	"pilgrim/internal/pilgrim"
 	"pilgrim/internal/platgen"
+	"pilgrim/internal/shard"
 	"pilgrim/internal/sim"
 	"pilgrim/internal/store"
 )
 
 // options carries the parsed command line into run.
 type options struct {
-	addr    string
-	g5kAPI  string
-	rrdTree string
+	addr      string
+	g5kAPI    string
+	rrdTree   string
+	platforms string
+
+	shardSelf string
+	shards    string
+	shardMap  string
 
 	gammaLat    bool
 	equipLimits bool
@@ -95,6 +114,10 @@ func main() {
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&o.g5kAPI, "g5k-api", "", "base URL of a Grid'5000 reference API server (default: embedded dataset)")
 	flag.StringVar(&o.rrdTree, "rrd-tree", "", "directory of RRD files to serve through the metrology service")
+	flag.StringVar(&o.platforms, "platforms", "g5k_test,g5k_cabinets", "comma-separated platforms to register (g5k_test, g5k_cabinets, g5k_mini)")
+	flag.StringVar(&o.shardSelf, "shard-self", "", "this worker's name in the fleet shard map (empty: standalone, no ownership checks)")
+	flag.StringVar(&o.shards, "shards", "", "fleet membership as name=url,... (combined with -shard-map)")
+	flag.StringVar(&o.shardMap, "shard-map", "", "JSON shard-map file {\"shards\":[{\"name\":...,\"url\":...}]}; re-read on SIGHUP")
 	flag.BoolVar(&o.gammaLat, "gamma-latfactor", false, "apply the latency correction factor inside the TCP window bound (reproduces the paper's worked example)")
 	flag.BoolVar(&o.equipLimits, "equipment-limits", false, "model network equipment backplane limits (future-work extension)")
 	flag.BoolVar(&o.measuredLat, "measured-latencies", false, "use measured backbone latencies instead of the hardcoded 2.25e-3 s (future-work extension)")
@@ -186,20 +209,39 @@ func run(ctx context.Context, o options) error {
 	}
 	defer registry.Close()
 
-	for _, variant := range []platgen.Variant{platgen.G5KTest, platgen.G5KCabinets} {
-		plat, err := platgen.Generate(ref, platgen.Options{
+	for _, name := range strings.Split(o.platforms, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		dataset := ref
+		var variant platgen.Variant
+		switch name {
+		case "g5k_test":
+			variant = platgen.G5KTest
+		case "g5k_cabinets":
+			variant = platgen.G5KCabinets
+		case "g5k_mini":
+			// The compact two-site reference campaigns generate with; the
+			// topology flavour is the detailed one.
+			dataset = g5k.Mini()
+			variant = platgen.G5KTest
+		default:
+			return fmt.Errorf("unknown platform %q in -platforms (have g5k_test, g5k_cabinets, g5k_mini)", name)
+		}
+		plat, err := platgen.Generate(dataset, platgen.Options{
 			Variant:              variant,
 			EquipmentLimits:      o.equipLimits,
 			UseMeasuredLatencies: o.measuredLat,
 		})
 		if err != nil {
-			return fmt.Errorf("generating %s: %w", variant, err)
+			return fmt.Errorf("generating %s: %w", name, err)
 		}
-		if err := registry.Add(variant.String(), pilgrim.PlatformEntry{Platform: plat, Config: cfg}); err != nil {
+		if err := registry.Add(name, pilgrim.PlatformEntry{Platform: plat, Config: cfg}); err != nil {
 			return err
 		}
 		log.Printf("registered platform %s: %d hosts, %d links (epoch %d)",
-			variant, plat.NumHosts(), plat.NumLinks(), plat.Snapshot().Epoch())
+			name, plat.NumHosts(), plat.NumLinks(), plat.Snapshot().Epoch())
 	}
 	if pending := registry.PendingRecoveries(); len(pending) > 0 {
 		log.Printf("warning: data directory holds state for unregistered platforms %v (dropped at the next compaction)", pending)
@@ -227,6 +269,21 @@ func run(ctx context.Context, o options) error {
 	server.SetAdmission(o.maxInflight, o.maxQueue, 0)
 	server.SetMaxBodyBytes(o.maxBodyBytes)
 
+	if o.shardSelf != "" || o.shards != "" || o.shardMap != "" {
+		if o.shardSelf == "" {
+			return fmt.Errorf("-shards/-shard-map need -shard-self (which worker am I?)")
+		}
+		src := shard.Source{Flag: o.shards, File: o.shardMap}
+		ring, err := loadRing(src, o.shardSelf)
+		if err != nil {
+			return err
+		}
+		table := shard.NewTable(ring)
+		server.SetShardIdentity(o.shardSelf, table)
+		log.Printf("shard %s of a %d-worker fleet (platforms owned elsewhere answer 421)", o.shardSelf, ring.Len())
+		go watchShardMap(ctx, src, o.shardSelf, table)
+	}
+
 	admission := "unlimited"
 	if o.maxInflight > 0 {
 		admission = fmt.Sprintf("%d in flight / %d queued", o.maxInflight, o.maxQueue)
@@ -242,4 +299,39 @@ func run(ctx context.Context, o options) error {
 		err = cerr
 	}
 	return err
+}
+
+// loadRing reads the shard membership and checks this worker is in it —
+// a worker that is not in its own map would 421 every request.
+func loadRing(src shard.Source, self string) (*shard.Ring, error) {
+	m, err := src.Load()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := m.Lookup(self); !ok {
+		return nil, fmt.Errorf("-shard-self %q is not in the shard map (members: %v)", self, m.Names())
+	}
+	return shard.NewRing(m)
+}
+
+// watchShardMap re-reads the membership on SIGHUP and swaps the routing
+// table; a failed reload keeps the current ring.
+func watchShardMap(ctx context.Context, src shard.Source, self string, table *shard.Table) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	defer signal.Stop(ch)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+			ring, err := loadRing(src, self)
+			if err != nil {
+				log.Printf("SIGHUP: shard-map reload failed, keeping current ring: %v", err)
+				continue
+			}
+			table.Store(ring)
+			log.Printf("SIGHUP: shard map reloaded (%d workers)", ring.Len())
+		}
+	}
 }

@@ -1,0 +1,122 @@
+// Command pilgrimgw fronts a sharded pilgrimd fleet with one Pilgrim
+// API endpoint — the control plane a resource management system points
+// its pilgrim.Client at instead of a single worker.
+//
+// Usage:
+//
+//	pilgrimgw -shards w1=http://h1:8080,w2=http://h2:8080 [-addr :8070]
+//	          [-shard-map FILE] [-fan-timeout D] [-max-fanout N]
+//	          [-max-body-bytes N] [-drain-timeout D]
+//
+// Platform-scoped requests (predict_transfers, select_fastest,
+// evaluate, update_links, bg_estimate, timeline_stats,
+// predict_workflow) are proxied to the worker that owns the platform on
+// the rendezvous ring — a pure function of (membership, platform name),
+// so every gateway and worker with the same shard map agrees on
+// ownership with no coordination service. Fleet-wide reads
+// (/pilgrim/platforms, /pilgrim/cache_stats) scatter-gather across all
+// workers with -max-fanout parallelism and a -fan-timeout per-shard
+// deadline; a down worker degrades the answer (named in
+// X-Pilgrim-Partial, detailed under /pilgrim/shards) instead of failing
+// it. Upstream calls retry transient failures with jittered backoff,
+// honoring Retry-After from admission shedding.
+//
+// Membership comes from -shards and/or a -shard-map JSON file; SIGHUP
+// re-reads the file, and platforms re-home per the rendezvous minimal-
+// movement property (about n/k platforms move when the fleet grows or
+// shrinks by one of k workers). SIGTERM/SIGINT drain like pilgrimd:
+// the listener closes, proxied requests in flight get -drain-timeout to
+// finish, and only then are pooled upstream connections released.
+//
+// Per-node metrology (/pilgrim/rrd/...) is not routed — RRD trees are a
+// per-worker concern; query the worker directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pilgrim/internal/gateway"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	shards := flag.String("shards", "", "fleet membership as name=url,... (combined with -shard-map)")
+	shardMap := flag.String("shard-map", "", "JSON shard-map file {\"shards\":[{\"name\":...,\"url\":...}]}; re-read on SIGHUP")
+	fanTimeout := flag.Duration("fan-timeout", gateway.DefaultFanTimeout, "per-shard deadline for scatter-gather reads")
+	maxFanout := flag.Int("max-fanout", gateway.DefaultMaxFanOut, "shards queried concurrently by a scatter-gather read")
+	maxBodyBytes := flag.Int64("max-body-bytes", gateway.DefaultMaxBodyBytes, "proxied request-body cap (bodies are buffered for retry replay)")
+	drainTimeout := flag.Duration("drain-timeout", pilgrim.DefaultDrainTimeout, "grace period for in-flight requests on SIGTERM/SIGINT")
+	flag.Parse()
+
+	if *fanTimeout < time.Millisecond || *maxFanout < 1 || *maxBodyBytes < 1 {
+		fmt.Fprintln(os.Stderr, "pilgrimgw: -fan-timeout, -max-fanout and -max-body-bytes must be positive")
+		os.Exit(2)
+	}
+
+	gw, err := gateway.New(gateway.Options{
+		Source:       shard.Source{Flag: *shards, File: *shardMap},
+		FanTimeout:   *fanTimeout,
+		MaxFanOut:    *maxFanout,
+		MaxBodyBytes: *maxBodyBytes,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilgrimgw:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go watchShardMap(ctx, gw)
+
+	ring := gw.Ring()
+	log.Printf("pilgrimgw listening on %s, fronting %d workers %v (fan-out %d, per-shard deadline %s)",
+		*addr, ring.Len(), names(ring), *maxFanout, *fanTimeout)
+
+	// Same drain path as pilgrimd: Serve shuts the listener, in-flight
+	// proxied requests finish within the grace period, and only then are
+	// upstream connections released.
+	err = pilgrim.Serve(ctx, *addr, gw, pilgrim.ServeOptions{DrainTimeout: *drainTimeout})
+	if ctx.Err() != nil {
+		log.Printf("shutdown: drained in-flight requests, releasing upstream connections")
+	}
+	gw.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilgrimgw:", err)
+		os.Exit(1)
+	}
+}
+
+func names(r *shard.Ring) []string {
+	m := shard.Map{Workers: r.Workers()}
+	return m.Names()
+}
+
+// watchShardMap re-reads the membership on SIGHUP. A failed reload
+// keeps the current ring — a half-edited map must not take down
+// routing.
+func watchShardMap(ctx context.Context, gw *gateway.Gateway) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	defer signal.Stop(ch)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+			if err := gw.Reload(); err != nil {
+				log.Printf("SIGHUP: shard-map reload failed, keeping current ring: %v", err)
+				continue
+			}
+			log.Printf("SIGHUP: shard map reloaded (%d workers)", gw.Ring().Len())
+		}
+	}
+}

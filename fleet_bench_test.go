@@ -1,0 +1,218 @@
+package pilgrim_bench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pilgrim/internal/gateway"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/scenario"
+	"pilgrim/internal/shard"
+)
+
+// fleetRing builds the w1..wn ring used for platform balancing and for
+// serving. Ownership depends only on worker names, so the dummy URLs
+// here route identically to the live httptest URLs.
+func fleetRing(b *testing.B, n int) *shard.Ring {
+	b.Helper()
+	m := &shard.Map{}
+	for i := 1; i <= n; i++ {
+		m.Workers = append(m.Workers, shard.Worker{
+			Name: fmt.Sprintf("w%d", i), URL: fmt.Sprintf("http://10.0.0.%d:1", i),
+		})
+	}
+	r, err := shard.NewRing(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// balancedFleetPlatforms picks nPlat platform names that the rendezvous
+// hash spreads exactly evenly over every given ring, so each fleet size
+// in the scaling series carries identical per-worker load — the bench
+// then measures capacity, not hash luck on 8 names.
+func balancedFleetPlatforms(b *testing.B, nPlat int, rings ...*shard.Ring) []string {
+	b.Helper()
+	quota := make([]map[string]int, len(rings))
+	for ri, r := range rings {
+		if nPlat%r.Len() != 0 {
+			b.Fatalf("nPlat %d not divisible by ring size %d", nPlat, r.Len())
+		}
+		quota[ri] = map[string]int{}
+		for _, w := range r.Workers() {
+			quota[ri][w.Name] = nPlat / r.Len()
+		}
+	}
+	var out []string
+	for i := 0; len(out) < nPlat && i < 1_000_000; i++ {
+		name := fmt.Sprintf("plat-%d", i)
+		ok := true
+		for ri, r := range rings {
+			if quota[ri][r.Owner(name).Name] == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for ri, r := range rings {
+			quota[ri][r.Owner(name).Name]--
+		}
+		out = append(out, name)
+	}
+	if len(out) != nPlat {
+		b.Fatalf("could not balance %d platforms", nPlat)
+	}
+	return out
+}
+
+// BenchmarkGatewayEvaluateFleet measures aggregate evaluate throughput
+// through pilgrimgw as the fleet grows 1 → 2 → 4 workers. Every worker
+// is pinned to ONE simulation lane (SetForecastWorkers(1)), so fleet
+// capacity equals worker count and ns/op should drop near-linearly on a
+// machine with enough cores; every request carries a fresh scenario
+// grid (unique bandwidth factor per iteration) so nothing is answered
+// from the forecast or overlay caches — each request pays real
+// simulations on the owning shard. The workers enforce shard ownership
+// (421), so the numbers also prove the gateway never routes wrong under
+// load.
+//
+// `make bench-fleet` gates the 1→2 and 1→4 ratios (>= 1.7x and >= 3x)
+// on machines with >= 4 CPUs; on smaller machines the sub-benchmarks
+// still run (correctness, flat numbers) but the ratio check is skipped
+// — a single core cannot parallelize CPU-bound simulation.
+func BenchmarkGatewayEvaluateFleet(b *testing.B) {
+	setup(b)
+	rings := []*shard.Ring{fleetRing(b, 1), fleetRing(b, 2), fleetRing(b, 4)}
+	plats := balancedFleetPlatforms(b, 8, rings...)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			benchFleetEvaluate(b, n, plats)
+		})
+	}
+}
+
+func benchFleetEvaluate(b *testing.B, nWorkers int, plats []string) {
+	m := &shard.Map{}
+	var servers []*pilgrim.Server
+	for i := 1; i <= nWorkers; i++ {
+		reg := pilgrim.NewRegistry()
+		for _, p := range plats {
+			if err := reg.Add(p, entry); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Cleanup(func() { reg.Close() })
+		srv := pilgrim.NewServer(reg, nil)
+		srv.SetForecastWorkers(1) // one lane per worker: capacity == fleet size
+		ts := httptest.NewServer(srv)
+		b.Cleanup(ts.Close)
+		m.Workers = append(m.Workers, shard.Worker{Name: fmt.Sprintf("w%d", i), URL: ts.URL})
+		servers = append(servers, srv)
+	}
+	ring, err := shard.NewRing(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flagSpec := ""
+	for i, w := range m.Workers {
+		if i > 0 {
+			flagSpec += ","
+		}
+		flagSpec += w.Name + "=" + w.URL
+		servers[i].SetShardIdentity(w.Name, shard.NewTable(ring))
+	}
+	gw, err := gateway.New(gateway.Options{
+		Source: shard.Source{Flag: flagSpec},
+		Retry:  pilgrim.RetryPolicy{MaxAttempts: 1}, // surface failures, don't mask them
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(gw.Close)
+	front := httptest.NewServer(gw)
+	b.Cleanup(front.Close)
+
+	client := pilgrim.NewClient(front.URL)
+	client.HTTP = pooledHTTPClient()
+
+	hosts := entry.Platform.Hosts()
+	links := entry.Platform.Links()
+	var reqs []pilgrim.TransferRequest
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, pilgrim.TransferRequest{
+			Src: hosts[k%len(hosts)].ID, Dst: hosts[(k+37)%len(hosts)].ID, Size: 5e8,
+		})
+	}
+	buildReq := func(factor float64) pilgrim.EvaluateRequest {
+		var scenarios []scenario.Scenario
+		for s := 0; s < 6; s++ {
+			scenarios = append(scenarios, scenario.Scenario{
+				Name: fmt.Sprintf("deg-%d", s),
+				Mutations: []scenario.Mutation{{
+					Op: scenario.OpScaleLink, Link: links[s+1].ID, BandwidthFactor: factor,
+				}},
+			})
+		}
+		return pilgrim.EvaluateRequest{
+			Scenarios: scenarios,
+			Queries:   []pilgrim.EvalQuery{{Kind: pilgrim.QueryPredictTransfers, Transfers: reqs}},
+		}
+	}
+	// Warm pass: routes, connections, and the ownership path, off the
+	// clock (factor 0.77 is never reused below).
+	for _, p := range plats {
+		if _, err := client.Evaluate(p, buildReq(0.77)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	drivers := 2 * nWorkers // keep every lane busy with one queued behind
+	var next atomic.Int64
+	var firstErr atomic.Value
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				// A unique factor per iteration defeats the forecast and
+				// overlay caches: every request simulates.
+				factor := 0.25 + 0.5*float64(i%1_000_000)/2_000_000
+				resp, err := client.Evaluate(plats[i%int64(len(plats))], buildReq(factor))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if resp.Stats.Simulations == 0 {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("request answered from cache; bench is not measuring simulation"))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// pooledHTTPClient gives the bench driver a transport wide enough that
+// driver→gateway connections are reused instead of re-dialed (the same
+// tuning the gateway applies upstream).
+func pooledHTTPClient() *http.Client {
+	return &http.Client{Transport: pilgrim.NewFleetTransport(64)}
+}

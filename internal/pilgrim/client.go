@@ -109,6 +109,53 @@ func (p RetryPolicy) backoffDelay(attempt int, retryAfter time.Duration) time.Du
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
+// Do runs one logical request under the policy: build is called for
+// every attempt (the request body must be replayable), transient
+// failures — transport errors, 429 shedding, 5xx — back off with jitter
+// honoring the server's Retry-After hint, and the final answer is
+// returned as-is. A response is returned even when its status is
+// retryable but attempts are exhausted, so proxies (the gateway) can
+// forward the upstream's own answer instead of synthesizing one; the
+// error return is non-nil only when no response was obtained at all.
+// Context cancellation on the built request stops retries immediately.
+func (p RetryPolicy) Do(hc *http.Client, build func() (*http.Request, error)) (*http.Response, error) {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultRetryAttempts
+	}
+	var lastErr error
+	var retryAfter time.Duration
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(p.backoffDelay(attempt-1, retryAfter))
+			retryAfter = 0
+		}
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			lastErr = err
+			if req.Context().Err() != nil {
+				return nil, lastErr // canceled or past deadline: retrying cannot help
+			}
+			continue
+		}
+		if !retryableStatus(resp.StatusCode) || attempt == attempts {
+			return resp, nil
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+	return nil, lastErr
+}
+
 // doJSON performs one API call with the retry policy: body (nil for GET)
 // is replayed on each attempt, transient failures back off, and the
 // 200 answer is decoded into out.
@@ -117,55 +164,54 @@ func (c *Client) doJSON(method, path string, query url.Values, body []byte, out 
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	attempts := c.Retry.MaxAttempts
-	if attempts <= 0 {
-		attempts = DefaultRetryAttempts
-	}
-	var lastErr error
-	var retryAfter time.Duration
-	for attempt := 1; attempt <= attempts; attempt++ {
-		if attempt > 1 {
-			time.Sleep(c.Retry.backoffDelay(attempt-1, retryAfter))
-			retryAfter = 0
-		}
+	resp, err := c.Retry.Do(c.httpClient(), func() (*http.Request, error) {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
 		req, err := http.NewRequest(method, u, rd)
 		if err != nil {
-			return fmt.Errorf("pilgrim: %s %s: %w", method, path, err)
+			return nil, err
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
-		resp, err := c.httpClient().Do(req)
-		if err != nil {
-			lastErr = fmt.Errorf("pilgrim: %s %s: %w", method, path, err)
-			continue
-		}
-		if resp.StatusCode == http.StatusOK {
-			err := json.NewDecoder(resp.Body).Decode(out)
-			resp.Body.Close()
-			if err != nil {
-				return fmt.Errorf("pilgrim: %s %s: decoding answer: %w", method, path, err)
-			}
-			return nil
-		}
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		resp.Body.Close()
-		lastErr = fmt.Errorf("pilgrim: %s %s: HTTP %d: %s",
-			method, path, resp.StatusCode, strings.TrimSpace(string(msg)))
-		if !retryableStatus(resp.StatusCode) {
-			return lastErr
-		}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
-				retryAfter = time.Duration(secs) * time.Second
-			}
-		}
+		return req, nil
+	})
+	if err != nil {
+		return fmt.Errorf("pilgrim: %s %s: %w", method, path, err)
 	}
-	return lastErr
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("pilgrim: %s %s: HTTP %d: %s",
+			method, path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("pilgrim: %s %s: decoding answer: %w", method, path, err)
+	}
+	return nil
+}
+
+// NewFleetTransport returns an http.Transport sized for scatter-gather
+// against a small fleet. net/http's zero-value Transport keeps only two
+// idle connections per host (DefaultMaxIdleConnsPerHost), so a gateway
+// fanning W concurrent evaluates at one worker re-handshakes W-2 of
+// them every burst; perHost should match the worker's pool width
+// (-forecast-workers, plus headroom for cheap control reads).
+// perHost <= 0 selects 32.
+func NewFleetTransport(perHost int) *http.Transport {
+	if perHost <= 0 {
+		perHost = 32
+	}
+	return &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        0, // no global cap; the per-host bound governs
+		MaxIdleConnsPerHost: perHost,
+		MaxConnsPerHost:     0,
+		IdleConnTimeout:     90 * time.Second,
+		ForceAttemptHTTP2:   true,
+	}
 }
 
 func (c *Client) getJSON(path string, query url.Values, out interface{}) error {

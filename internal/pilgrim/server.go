@@ -17,6 +17,7 @@ import (
 	"pilgrim/internal/metrology"
 	"pilgrim/internal/platform"
 	"pilgrim/internal/rrd"
+	"pilgrim/internal/shard"
 	"pilgrim/internal/store"
 	"pilgrim/internal/workflow"
 )
@@ -48,6 +49,21 @@ type Server struct {
 	// (0 selects DefaultMaxBodyBytes).
 	admission    atomic.Pointer[Admission]
 	maxBodyBytes atomic.Int64
+
+	// shard is the worker's fleet identity (nil: standalone — every
+	// platform request is served). When set, platform-scoped requests
+	// for platforms the ring assigns elsewhere answer 421 with the
+	// owner's address, so a stale client (or a gateway mid-reload)
+	// learns where the platform lives instead of silently reading a
+	// cold timeline.
+	shard       atomic.Pointer[shardIdentity]
+	misdirected atomic.Uint64
+}
+
+// shardIdentity pairs this worker's name with the fleet's routing table.
+type shardIdentity struct {
+	self  string
+	table *shard.Table
 }
 
 // DefaultMaxBodyBytes is the request-body cap applied to update_links,
@@ -83,6 +99,7 @@ func NewServer(platforms *Registry, metrics *metrology.Registry) *Server {
 	s.mux.HandleFunc("POST /pilgrim/update_links/{platform}", s.handleUpdateLinks)
 	s.mux.HandleFunc("GET /pilgrim/timeline_stats/{platform}", s.handleTimelineStats)
 	s.mux.HandleFunc("GET /pilgrim/cache_stats", s.handleCacheStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}/", s.handleRRD)
 	s.mux.HandleFunc("GET /pilgrim/rrd/{tool}/{site}/{host}/{metric}", s.handleRRD)
 	return s
@@ -213,6 +230,56 @@ func finishCtx(w http.ResponseWriter, err error) bool {
 	return false
 }
 
+// SetShardIdentity makes the server fleet-aware: self is this worker's
+// name in the shard map and table the fleet's routing table (reloadable;
+// the server reads it per request). Platform-scoped requests for
+// platforms the ring assigns to another worker are rejected with 421 and
+// a redirect hint naming the owner. A nil table restores standalone
+// serving.
+func (s *Server) SetShardIdentity(self string, table *shard.Table) {
+	if table == nil {
+		s.shard.Store(nil)
+		return
+	}
+	s.shard.Store(&shardIdentity{self: self, table: table})
+}
+
+// MisdirectedError is the structured 421 body a fleet worker answers
+// when asked about a platform the shard map assigns elsewhere. OwnerURL
+// is the redirect hint: where the gateway (or a shard-aware client)
+// should have sent the request.
+type MisdirectedError struct {
+	Error    string `json:"error"`
+	Platform string `json:"platform"`
+	Shard    string `json:"shard"`
+	Owner    string `json:"owner"`
+	OwnerURL string `json:"owner_url"`
+}
+
+// ownsPlatform enforces shard ownership on a platform-scoped request;
+// reports true when the request may proceed (standalone server, or this
+// worker owns the platform) and answers the 421 hint otherwise.
+func (s *Server) ownsPlatform(w http.ResponseWriter, r *http.Request) bool {
+	id := s.shard.Load()
+	if id == nil {
+		return true
+	}
+	name := r.PathValue("platform")
+	owner := id.table.Owner(name)
+	if owner.Name == id.self {
+		return true
+	}
+	s.misdirected.Add(1)
+	writeJSONStatus(w, http.StatusMisdirectedRequest, MisdirectedError{
+		Error:    fmt.Sprintf("platform %q is owned by shard %q, not %q", name, owner.Name, id.self),
+		Platform: name,
+		Shard:    id.self,
+		Owner:    owner.Name,
+		OwnerURL: owner.URL,
+	})
+	return false
+}
+
 // SetDifferentialEval enables (the default) or disables warm-start
 // differential evaluation of derived scenario epochs — the pilgrimd
 // -differential-eval flag. Disabling it forces every group to simulate
@@ -264,6 +331,9 @@ func parseTransferParam(v string) (TransferRequest, error) {
 // cap, to the NWS-extrapolated forecast epoch. Beyond-horizon futures and
 // malformed timestamps answer 400, unknown platforms 404.
 func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEntry, bool) {
+	if !s.ownsPlatform(w, r) {
+		return PlatformEntry{}, false
+	}
 	name := r.PathValue("platform")
 	entry, ok := s.platforms.Get(name)
 	if !ok {
@@ -378,6 +448,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cleanup()
+	if !s.ownsPlatform(w, r) {
+		return
+	}
 	name := r.PathValue("platform")
 	if _, ok := s.platforms.Get(name); !ok {
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
@@ -429,6 +502,9 @@ type BgEstimateResponse struct {
 //
 //	GET /pilgrim/bg_estimate/g5k_test
 func (s *Server) handleBgEstimateGet(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsPlatform(w, r) {
+		return
+	}
 	name := r.PathValue("platform")
 	if _, ok := s.platforms.Get(name); !ok {
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
@@ -448,6 +524,9 @@ func (s *Server) handleBgEstimateGet(w http.ResponseWriter, r *http.Request) {
 //
 //	POST /pilgrim/bg_estimate/g5k_test?tool=ganglia&begin=B&end=E
 func (s *Server) handleBgEstimatePost(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsPlatform(w, r) {
+		return
+	}
 	name := r.PathValue("platform")
 	if _, ok := s.platforms.Get(name); !ok {
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
@@ -628,6 +707,9 @@ type UpdateLinksError struct {
 // body) is still accepted and stamped with the arrival time. The answer
 // reports the published epoch.
 func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsPlatform(w, r) {
+		return
+	}
 	name := r.PathValue("platform")
 	entry, ok := s.platforms.Get(name)
 	if !ok {
@@ -745,6 +827,9 @@ func (s *Server) handleUpdateLinks(w http.ResponseWriter, r *http.Request) {
 // links changed), the history bound, eviction counters, and the horizon
 // cap applied to at= queries.
 func (s *Server) handleTimelineStats(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsPlatform(w, r) {
+		return
+	}
 	name := r.PathValue("platform")
 	st, ok := s.platforms.TimelineStats(name)
 	if !ok {

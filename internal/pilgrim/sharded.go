@@ -1,0 +1,57 @@
+package pilgrim
+
+import (
+	"net/http"
+
+	"pilgrim/internal/shard"
+)
+
+// ShardedClient routes typed client calls straight to the worker that
+// owns each platform on the rendezvous ring — the zero-hop alternative
+// to pointing a plain Client at pilgrimgw. Both paths compute ownership
+// with the same hash, so an embedder can mix them freely; the gateway
+// additionally gives fleet-wide reads and a single endpoint to
+// configure.
+//
+// All per-worker clients share one fleet-sized transport, so fanning
+// requests across workers reuses pooled connections instead of
+// re-handshaking (see NewFleetTransport).
+type ShardedClient struct {
+	ring    *shard.Ring
+	clients map[string]*Client
+}
+
+// NewShardedClient builds a sharded client over the given membership.
+// retry applies to every per-worker client (zero value: defaults).
+func NewShardedClient(m *shard.Map, retry RetryPolicy) (*ShardedClient, error) {
+	ring, err := shard.NewRing(m)
+	if err != nil {
+		return nil, err
+	}
+	hc := &http.Client{
+		Transport: NewFleetTransport(0),
+		Timeout:   DefaultClientTimeout,
+	}
+	sc := &ShardedClient{ring: ring, clients: make(map[string]*Client, ring.Len())}
+	for _, w := range ring.Workers() {
+		c := NewClient(w.URL)
+		c.HTTP = hc
+		c.Retry = retry
+		sc.clients[w.Name] = c
+	}
+	return sc, nil
+}
+
+// For returns the client of the worker owning platform. The result is
+// shared — do not mutate it.
+func (sc *ShardedClient) For(platform string) *Client {
+	return sc.clients[sc.ring.Owner(platform).Name]
+}
+
+// Owner reports which worker owns platform.
+func (sc *ShardedClient) Owner(platform string) shard.Worker {
+	return sc.ring.Owner(platform)
+}
+
+// Workers lists the fleet in ring (name-sorted) order.
+func (sc *ShardedClient) Workers() []shard.Worker { return sc.ring.Workers() }

@@ -1,0 +1,187 @@
+// Package shard maps platform names onto a fleet of pilgrimd workers.
+//
+// The fleet's control plane is deliberately minimal: a static membership
+// list (the -shards flag, optionally extended by a JSON shard-map file
+// reloaded on SIGHUP) and a deterministic rendezvous-hash ring over it.
+// There is no coordination service and no rebalancing protocol — every
+// gateway and every worker that loads the same membership computes the
+// same owner for every platform, across processes and restarts. Because
+// ownership is a pure function of (membership, platform name), adding or
+// removing one worker remaps only the platforms that worker gains or
+// loses (~n/k of them), which keeps the per-worker WAL timelines and
+// forecast caches warm through membership changes.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Worker is one pilgrimd node in the fleet: a stable name (the hash
+// identity — renaming a worker remaps its platforms) and the base URL
+// the gateway proxies to.
+type Worker struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Map is an ordered, validated fleet membership list. The order is
+// cosmetic (listings, metrics); ownership depends only on the set of
+// worker names.
+type Map struct {
+	Workers []Worker `json:"shards"`
+}
+
+// Validate checks the map: at least one worker, no duplicate names or
+// URLs, every URL absolute http(s).
+func (m *Map) Validate() error {
+	if m == nil || len(m.Workers) == 0 {
+		return fmt.Errorf("shard: empty shard map")
+	}
+	names := make(map[string]bool, len(m.Workers))
+	urls := make(map[string]bool, len(m.Workers))
+	for i, w := range m.Workers {
+		if w.Name == "" {
+			return fmt.Errorf("shard: worker %d has no name", i)
+		}
+		if names[w.Name] {
+			return fmt.Errorf("shard: duplicate worker name %q", w.Name)
+		}
+		names[w.Name] = true
+		u, err := url.Parse(w.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("shard: worker %q: URL %q is not absolute http(s)", w.Name, w.URL)
+		}
+		if urls[w.URL] {
+			return fmt.Errorf("shard: duplicate worker URL %q", w.URL)
+		}
+		urls[w.URL] = true
+	}
+	return nil
+}
+
+// Names returns the worker names in map order.
+func (m *Map) Names() []string {
+	out := make([]string, len(m.Workers))
+	for i, w := range m.Workers {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// Lookup returns the named worker.
+func (m *Map) Lookup(name string) (Worker, bool) {
+	for _, w := range m.Workers {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Worker{}, false
+}
+
+// Equal reports whether two maps hold the same workers in the same
+// order.
+func (m *Map) Equal(o *Map) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if len(m.Workers) != len(o.Workers) {
+		return false
+	}
+	for i := range m.Workers {
+		if m.Workers[i] != o.Workers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseFlag parses the -shards flag: comma-separated workers, each
+// either "name=url" or a bare URL (the name defaults to the URL's
+// host:port). An empty flag yields an empty map (valid only when a
+// shard-map file supplies the workers).
+func ParseFlag(s string) (*Map, error) {
+	m := &Map{}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		var w Worker
+		if i := strings.Index(field, "="); i >= 0 {
+			w = Worker{Name: strings.TrimSpace(field[:i]), URL: strings.TrimSpace(field[i+1:])}
+		} else {
+			u, err := url.Parse(field)
+			if err != nil || u.Host == "" {
+				return nil, fmt.Errorf("shard: -shards entry %q is neither name=url nor an absolute URL", field)
+			}
+			w = Worker{Name: u.Host, URL: field}
+		}
+		w.URL = strings.TrimRight(w.URL, "/")
+		m.Workers = append(m.Workers, w)
+	}
+	return m, nil
+}
+
+// LoadFile reads a JSON shard-map file:
+//
+//	{"shards": [{"name": "w1", "url": "http://10.0.0.1:8080"}, ...]}
+//
+// The file is the reloadable half of fleet membership: pilgrimgw (and a
+// shard-aware pilgrimd) re-read it on SIGHUP and swap the ring
+// atomically.
+func LoadFile(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	var m Map
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: parsing %s: %w", path, err)
+	}
+	for i := range m.Workers {
+		m.Workers[i].URL = strings.TrimRight(m.Workers[i].URL, "/")
+	}
+	return &m, nil
+}
+
+// Source is the two-part membership configuration both binaries share:
+// the static -shards flag plus an optional shard-map file. Load merges
+// them (flag entries first, file entries appended; duplicate names are
+// rejected by Validate) so operators can pin seed workers on the command
+// line and grow the fleet by editing the file and sending SIGHUP.
+type Source struct {
+	Flag string // the -shards flag value
+	File string // the -shard-map file path ("" = none)
+}
+
+// Load resolves the source into a validated map.
+func (s Source) Load() (*Map, error) {
+	m, err := ParseFlag(s.Flag)
+	if err != nil {
+		return nil, err
+	}
+	if s.File != "" {
+		fm, err := LoadFile(s.File)
+		if err != nil {
+			return nil, err
+		}
+		m.Workers = append(m.Workers, fm.Workers...)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// sortedCopy returns the workers sorted by name — the canonical order
+// the ring hashes in, so a map's listing order never changes ownership.
+func sortedCopy(ws []Worker) []Worker {
+	out := append([]Worker(nil), ws...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

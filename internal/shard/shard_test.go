@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlag(t *testing.T) {
+	m, err := ParseFlag("w1=http://10.0.0.1:8080, w2=http://10.0.0.2:8080/ ,http://10.0.0.3:9090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Worker{
+		{Name: "w1", URL: "http://10.0.0.1:8080"},
+		{Name: "w2", URL: "http://10.0.0.2:8080"}, // trailing slash trimmed
+		{Name: "10.0.0.3:9090", URL: "http://10.0.0.3:9090"},
+	}
+	if len(m.Workers) != len(want) {
+		t.Fatalf("got %d workers, want %d", len(m.Workers), len(want))
+	}
+	for i, w := range want {
+		if m.Workers[i] != w {
+			t.Errorf("worker %d = %+v, want %+v", i, m.Workers[i], w)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFlagRejectsGarbage(t *testing.T) {
+	if _, err := ParseFlag("not a url"); err == nil {
+		t.Fatal("bare non-URL entry accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Map
+		want string
+	}{
+		{"empty", &Map{}, "empty shard map"},
+		{"no name", &Map{Workers: []Worker{{URL: "http://h:1"}}}, "has no name"},
+		{"dup name", &Map{Workers: []Worker{{Name: "w", URL: "http://h:1"}, {Name: "w", URL: "http://h:2"}}}, "duplicate worker name"},
+		{"dup url", &Map{Workers: []Worker{{Name: "a", URL: "http://h:1"}, {Name: "b", URL: "http://h:1"}}}, "duplicate worker URL"},
+		{"relative url", &Map{Workers: []Worker{{Name: "a", URL: "/just/a/path"}}}, "not absolute"},
+		{"bad scheme", &Map{Workers: []Worker{{Name: "a", URL: "ftp://h:1"}}}, "not absolute http"},
+	}
+	for _, c := range cases {
+		err := c.m.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadFileAndSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shards.json")
+	doc := `{"shards": [
+  {"name": "w2", "url": "http://10.0.0.2:8080/"},
+  {"name": "w3", "url": "http://10.0.0.3:8080"}
+]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Source{Flag: "w1=http://10.0.0.1:8080", File: path}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(m.Names(), ","); got != "w1,w2,w3" {
+		t.Fatalf("merged names = %s, want w1,w2,w3", got)
+	}
+	if w, ok := m.Lookup("w2"); !ok || w.URL != "http://10.0.0.2:8080" {
+		t.Fatalf("w2 lookup = %+v, %v (trailing slash should be trimmed)", w, ok)
+	}
+
+	// A duplicate between flag and file must be rejected, not shadowed.
+	if _, err := (Source{Flag: "w2=http://10.0.0.9:8080", File: path}.Load()); err == nil {
+		t.Fatal("duplicate worker across flag and file accepted")
+	}
+	// A ring from the merged map routes identically to one from an
+	// equivalent literal map — membership source does not affect routing.
+	r1, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(mapOf("w3", "w1", "w2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(200) {
+		if r1.Owner(k).Name != r2.Owner(k).Name {
+			t.Fatalf("key %q routes differently across equivalent maps", k)
+		}
+	}
+}
+
+func TestSourceErrors(t *testing.T) {
+	if _, err := (Source{Flag: ""}).Load(); err == nil {
+		t.Fatal("empty source accepted")
+	}
+	if _, err := (Source{File: "/nonexistent/shards.json"}).Load(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := (Source{File: bad}).Load(); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestMapEqual(t *testing.T) {
+	a := mapOf("w1", "w2")
+	b := mapOf("w1", "w2")
+	c := mapOf("w2", "w1")
+	if !a.Equal(b) {
+		t.Fatal("identical maps not equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("reordered maps equal (order is part of the listing identity)")
+	}
+	if a.Equal(nil) {
+		t.Fatal("nil map equal")
+	}
+}

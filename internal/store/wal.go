@@ -97,6 +97,10 @@ type WALStats struct {
 	SegmentRecords int    `json:"segment_records"`
 	Appends        uint64 `json:"appends"`
 	Compactions    uint64 `json:"compactions"`
+	// Fsyncs counts log fsyncs actually issued (per-record under
+	// `always`, per dirty tick under `interval`, explicit Sync/Close) —
+	// the durability cost metric the /metrics endpoint exports.
+	Fsyncs uint64 `json:"fsyncs"`
 	// RecoveredRecords/RecoveredSkipped/TruncatedBytes describe what Open
 	// found: replayed tail records, records it had to skip, and torn
 	// bytes cut off the log.
@@ -122,6 +126,7 @@ type WAL struct {
 
 	appends     uint64
 	compactions uint64
+	fsyncs      uint64
 	recRecords  int
 	recSkipped  int
 	recTrunc    int64
@@ -396,6 +401,7 @@ func (w *WAL) Append(rec Record) error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("store: syncing log: %w", err)
 		}
+		w.fsyncs++
 	case FsyncInterval:
 		w.dirty = true
 	}
@@ -519,6 +525,7 @@ func (w *WAL) Sync() error {
 		return nil
 	}
 	w.dirty = false
+	w.fsyncs++
 	return w.f.Sync()
 }
 
@@ -536,6 +543,7 @@ func (w *WAL) syncLoop() {
 			if w.dirty && !w.closed {
 				w.f.Sync()
 				w.dirty = false
+				w.fsyncs++
 			}
 			w.mu.Unlock()
 		}
@@ -558,6 +566,7 @@ func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	err := w.f.Sync()
+	w.fsyncs++
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
@@ -575,6 +584,7 @@ func (w *WAL) Stats() WALStats {
 		SegmentRecords:   w.recs,
 		Appends:          w.appends,
 		Compactions:      w.compactions,
+		Fsyncs:           w.fsyncs,
 		RecoveredRecords: w.recRecords,
 		RecoveredSkipped: w.recSkipped,
 		TruncatedBytes:   w.recTrunc,

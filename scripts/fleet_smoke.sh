@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end sharded-fleet drill with real binaries.
+#
+# Starts two pilgrimd shards and a pilgrimgw in front of them, waits for
+# the fleet to report healthy, then checks the full control-plane
+# contract (docs/OPERATIONS.md, "Running a fleet"):
+#
+#   1. /pilgrim/shards reports both workers healthy through the gateway;
+#   2. the platform union lists g5k_mini;
+#   3. shard ownership is enforced: the non-owner answers 421 directly,
+#      the gateway routes to the owner (X-Pilgrim-Shard header);
+#   4. /metrics serves Prometheus text format on workers and gateway;
+#   5. the smoke campaign replayed THROUGH the gateway produces a report
+#      byte-identical to the committed single-node golden;
+#   6. SIGTERM drains every process cleanly (exit 0).
+#
+# CI runs this as the fleet-smoke job; locally: make fleet-smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+W1=127.0.0.1:18081
+W2=127.0.0.1:18082
+GW=127.0.0.1:18070
+SHARDS="w1=http://$W1,w2=http://$W2"
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "fleet-smoke: building binaries"
+go build -o "$tmp/pilgrimd" ./cmd/pilgrimd
+go build -o "$tmp/pilgrimgw" ./cmd/pilgrimgw
+go build -o "$tmp/pilgrimsim" ./cmd/pilgrimsim
+
+echo "fleet-smoke: starting 2 workers + gateway"
+"$tmp/pilgrimd" -addr "$W1" -platforms g5k_mini -shard-self w1 -shards "$SHARDS" >"$tmp/w1.log" 2>&1 &
+pids+=($!)
+"$tmp/pilgrimd" -addr "$W2" -platforms g5k_mini -shard-self w2 -shards "$SHARDS" >"$tmp/w2.log" 2>&1 &
+pids+=($!)
+"$tmp/pilgrimgw" -addr "$GW" -shards "$SHARDS" >"$tmp/gw.log" 2>&1 &
+pids+=($!)
+
+healthy=0
+for _ in $(seq 1 100); do
+    if doc=$(curl -fsS "http://$GW/pilgrim/shards" 2>/dev/null) &&
+        [ "$(printf '%s' "$doc" | grep -o '"ok":true' | wc -l)" -eq 2 ]; then
+        healthy=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$healthy" -ne 1 ]; then
+    echo "fleet-smoke: FAIL — fleet did not become healthy" >&2
+    tail -n 20 "$tmp"/*.log >&2
+    exit 1
+fi
+echo "fleet-smoke: both shards healthy"
+
+grep -q g5k_mini <<<"$(curl -fsS "http://$GW/pilgrim/platforms")" ||
+    { echo "fleet-smoke: FAIL — platform union missing g5k_mini" >&2; exit 1; }
+
+# Ownership: the rendezvous ring {w1,w2} assigns g5k_mini to w2 (pinned
+# by TestRingDeterministicAcrossBuilds). The non-owner must reject with
+# 421; the gateway must route to the owner.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$W1/pilgrim/timeline_stats/g5k_mini")
+[ "$code" = 421 ] || { echo "fleet-smoke: FAIL — non-owner answered $code, want 421" >&2; exit 1; }
+shard_hdr=$(curl -fsS -D - -o /dev/null "http://$GW/pilgrim/timeline_stats/g5k_mini" | tr -d '\r' |
+    awk 'tolower($1) == "x-pilgrim-shard:" {print $2}')
+[ "$shard_hdr" = w2 ] || { echo "fleet-smoke: FAIL — gateway routed to '$shard_hdr', want w2" >&2; exit 1; }
+echo "fleet-smoke: ownership enforced (w1: 421, gateway -> w2)"
+
+for url in "http://$W1/metrics" "http://$GW/metrics"; do
+    scrape=$(curl -fsSi "$url")
+    grep -q 'text/plain; version=0.0.4' <<<"$scrape" ||
+        { echo "fleet-smoke: FAIL — $url is not Prometheus text format" >&2; exit 1; }
+done
+grep -q '^pilgrim_shard_info' <<<"$(curl -fsS "http://$W1/metrics")" ||
+    { echo "fleet-smoke: FAIL — worker metrics missing pilgrim_shard_info" >&2; exit 1; }
+grep -q '^pilgrim_gateway_shards' <<<"$(curl -fsS "http://$GW/metrics")" ||
+    { echo "fleet-smoke: FAIL — gateway metrics missing pilgrim_gateway_shards" >&2; exit 1; }
+echo "fleet-smoke: /metrics contract ok on worker and gateway"
+
+"$tmp/pilgrimsim" -server "http://$GW" -json "$tmp/report.json" -quiet run examples/campaigns/smoke.yaml
+cmp "$tmp/report.json" examples/campaigns/golden/smoke.json ||
+    { echo "fleet-smoke: FAIL — fleet report differs from the single-node golden" >&2; exit 1; }
+echo "fleet-smoke: smoke campaign through the gateway is byte-identical to the golden"
+
+# Graceful shutdown: every process must drain and exit 0 on SIGTERM.
+for p in "${pids[@]}"; do kill -TERM "$p"; done
+for p in "${pids[@]}"; do
+    if ! wait "$p"; then
+        echo "fleet-smoke: FAIL — pid $p did not exit cleanly on SIGTERM" >&2
+        tail -n 20 "$tmp"/*.log >&2
+        exit 1
+    fi
+done
+pids=()
+echo "fleet-smoke: clean SIGTERM drain"
+echo "fleet-smoke: PASS"
