@@ -7,11 +7,12 @@ SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 # The key benchmarks: the two heaviest figure cells, the paper's
 # 30-transfer latency claim, the hypothesis-selection fan-out, the
 # snapshot layer's concurrency/copy-on-write claims, the scenario
-# overlay/batched-evaluation claims, and the warm-start differential
-# evaluation tiers (reuse/fork vs cold).
-KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon|BenchmarkApplyOverlay|BenchmarkEvaluate30x8|BenchmarkEvaluateDifferential30x8|BenchmarkForkVsCold|BenchmarkGatewayEvaluateFleet
+# overlay/batched-evaluation claims, the warm-start differential
+# evaluation tiers (reuse/fork vs cold), and the end-to-end HTTP serving
+# path (pooled encoders vs encoding/json, plus the coalescing burst).
+KEY_BENCH := BenchmarkFigure09|BenchmarkFigure11|BenchmarkPredict30Transfers$$|BenchmarkSelectFastest|BenchmarkWarmRoute|BenchmarkConcurrentPredict30|BenchmarkWithLinkState|BenchmarkTimelineAppend|BenchmarkPredictAtHorizon|BenchmarkApplyOverlay|BenchmarkEvaluate30x8|BenchmarkEvaluateDifferential30x8|BenchmarkForkVsCold|BenchmarkGatewayEvaluateFleet|BenchmarkHTTPPredict30|BenchmarkHTTPEvaluate30x8|BenchmarkHTTPCoalesced64Clients
 
-.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline bench-fleet campaign-check recovery-check fleet-smoke profile clean
+.PHONY: all build test vet race bench bench-smoke bench-check bench-baseline bench-fleet campaign-check recovery-check fleet-smoke loadgen-smoke profile clean
 
 all: vet build test
 
@@ -59,12 +60,19 @@ bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 # bench-check runs the key benchmarks and fails when any figure benchmark
-# slowed by more than 25% against the committed baseline. Only the
-# single-threaded figure/prediction benchmarks gate the build: the
-# RunParallel benchmarks scale with the machine's core count and would
-# make a cross-machine comparison meaningless.
+# slowed by more than 25% against the committed baseline — and when the
+# serving hot path re-grows allocations by more than 10% (allocation
+# counts are nearly deterministic, so the tighter threshold holds). Only
+# single-threaded benchmarks gate cross-run: the RunParallel benchmarks
+# scale with the machine's core count and would make a cross-machine
+# comparison meaningless. The second check is within THIS run: the
+# pooled-encoder hot path must stay well ahead of the encoding/json
+# legacy path on the same requests (the in-process hot/legacy
+# sub-benchmarks differ only in the response writer).
 bench-check: bench
 	go run ./cmd/benchdiff -match 'BenchmarkFigure|BenchmarkPredict30Transfers|BenchmarkEvaluateDifferential30x8|BenchmarkForkVsCold' BENCH_baseline.json BENCH_$(SHA).json
+	go run ./cmd/benchdiff -allocs-threshold 0.10 -match 'BenchmarkHTTPPredict30/hot|BenchmarkHTTPEvaluate30x8/hot' BENCH_baseline.json BENCH_$(SHA).json
+	go run ./cmd/benchdiff -scale 'BenchmarkHTTPPredict30/legacy,BenchmarkHTTPPredict30/hot,1.4;BenchmarkHTTPEvaluate30x8/legacy,BenchmarkHTTPEvaluate30x8/hot,1.4' BENCH_$(SHA).json
 
 # bench-baseline refreshes the committed baseline from a fresh run; commit
 # the result whenever a PR intentionally shifts performance.
@@ -94,6 +102,12 @@ bench-fleet:
 # (docs/OPERATIONS.md, "Running a fleet").
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# loadgen-smoke drives a real pilgrimd with cmd/pilgrimload for ~2s and
+# asserts a sane serving path: nonzero QPS and zero errors
+# (docs/OPERATIONS.md, "Load testing").
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh
 
 # profile captures CPU and allocation profiles of the evaluate hot path
 # (the differential and steady-state evaluate benchmarks exercise the

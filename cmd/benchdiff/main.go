@@ -1,15 +1,20 @@
 // Command benchdiff compares two benchjson documents (see cmd/benchjson)
 // and fails when any benchmark present in both regressed beyond a
-// threshold in ns/op. CI runs it after `make bench` against the committed
-// BENCH_baseline.json, so a slowdown in a figure benchmark breaks the
-// build instead of landing silently:
+// threshold in ns/op — and, when -allocs-threshold is set, beyond a
+// threshold in allocs/op. CI runs it after `make bench` against the
+// committed BENCH_baseline.json, so a slowdown in a figure benchmark
+// breaks the build instead of landing silently:
 //
-//	benchdiff [-threshold 0.25] [-match regexp] baseline.json current.json
+//	benchdiff [-threshold 0.25] [-allocs-threshold 0.1] [-match regexp] baseline.json current.json
 //
 // The exit status is 1 when at least one benchmark slowed by more than
-// threshold (default 25%). Improvements and new/removed benchmarks are
+// threshold (default 25%) or, with -allocs-threshold > 0, allocated more
+// than that fraction over baseline. Allocation counts are nearly
+// deterministic, so the allocs threshold can sit far below the ns one —
+// it is the gate that keeps the zero-allocation serving path from
+// quietly re-growing. Improvements and new/removed benchmarks are
 // reported but never fail the comparison; CI noise is expected, so the
-// threshold should stay well above run-to-run jitter.
+// ns threshold should stay well above run-to-run jitter.
 //
 // A second mode asserts scaling ratios WITHIN one document — used by
 // `make bench-fleet` to gate the sharded-fleet speedup, which cannot be
@@ -33,15 +38,16 @@ import (
 )
 
 type entry struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
 }
 
 type doc struct {
 	Benchmarks []entry `json:"benchmarks"`
 }
 
-func load(path string) (map[string]float64, error) {
+func load(path string) (map[string]entry, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -51,10 +57,10 @@ func load(path string) (map[string]float64, error) {
 	if err := json.NewDecoder(f).Decode(&d); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]float64, len(d.Benchmarks))
+	out := make(map[string]entry, len(d.Benchmarks))
 	for _, b := range d.Benchmarks {
 		if b.NsPerOp > 0 {
-			out[b.Name] = b.NsPerOp
+			out[b.Name] = b
 		}
 	}
 	return out, nil
@@ -91,7 +97,7 @@ func runScale(spec, path string) int {
 			fmt.Fprintf(os.Stderr, "benchdiff: %s not in %s\n", parts[1], path)
 			return 2
 		}
-		ratio := base / variant
+		ratio := base.NsPerOp / variant.NsPerOp
 		status := "ok"
 		if ratio < minRatio {
 			status = "FAIL"
@@ -108,6 +114,7 @@ func runScale(spec, path string) int {
 
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	allocsThreshold := flag.Float64("allocs-threshold", 0, "maximum tolerated allocs/op regression (0 = allocations not checked)")
 	match := flag.String("match", "", "only compare benchmarks matching this regexp (default: all)")
 	scale := flag.String("scale", "", "ratio mode: 'base,variant,minratio[;...]' specs checked within ONE document")
 	flag.Parse()
@@ -159,17 +166,26 @@ func main() {
 			continue
 		}
 		compared++
-		delta := now/base[n] - 1
+		delta := now.NsPerOp/base[n].NsPerOp - 1
 		status := "ok"
 		if delta > *threshold {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("  %-45s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", n, base[n], now, delta*100, status)
+		fmt.Printf("  %-45s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", n, base[n].NsPerOp, now.NsPerOp, delta*100, status)
+		if *allocsThreshold > 0 && base[n].AllocsPerOp != nil && now.AllocsPerOp != nil && *base[n].AllocsPerOp > 0 {
+			adelta := *now.AllocsPerOp / *base[n].AllocsPerOp - 1
+			astatus := "ok"
+			if adelta > *allocsThreshold {
+				astatus = "FAIL"
+				failed = true
+			}
+			fmt.Printf("  %-45s %12.0f -> %12.0f allocs/op  %+6.1f%%  %s\n", n, *base[n].AllocsPerOp, *now.AllocsPerOp, adelta*100, astatus)
+		}
 	}
 	for n := range cur {
 		if _, ok := base[n]; !ok && (filter == nil || filter.MatchString(n)) {
-			fmt.Printf("  %-45s new (%.0f ns/op), not in baseline\n", n, cur[n])
+			fmt.Printf("  %-45s new (%.0f ns/op), not in baseline\n", n, cur[n].NsPerOp)
 		}
 	}
 	if compared == 0 {

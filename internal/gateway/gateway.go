@@ -76,9 +76,24 @@ type Gateway struct {
 	fanouts     atomic.Uint64
 	fanErrors   atomic.Uint64
 	proxyErrors atomic.Uint64
+	coalesced   atomic.Uint64
 
 	mu      sync.Mutex
 	proxied map[string]uint64 // per-shard proxied request count
+
+	// flightMu guards flights, the in-flight scatter-gather table:
+	// concurrent reads of the same path share one fan-out instead of
+	// multiplying load on every shard (mirrors the workers' forecast
+	// coalescing layer, internal/pilgrim/flight.go).
+	flightMu sync.Mutex
+	flights  map[string]*gatherFlight
+}
+
+// gatherFlight is one in-flight scatter-gather other requests wait on;
+// legs is valid once done closes.
+type gatherFlight struct {
+	done chan struct{}
+	legs []leg
 }
 
 // New builds a gateway over the membership in opts.Source.
@@ -100,6 +115,7 @@ func New(opts Options) (*Gateway, error) {
 		maxFan:     opts.MaxFanOut,
 		maxBody:    opts.MaxBodyBytes,
 		proxied:    make(map[string]uint64),
+		flights:    make(map[string]*gatherFlight),
 	}
 	if g.fanTimeout <= 0 {
 		g.fanTimeout = DefaultFanTimeout
@@ -263,10 +279,47 @@ type leg struct {
 	err    error
 }
 
-// gather queries path on every shard with bounded parallelism and a
+// gather answers a fleet-wide read, coalescing concurrent requests for
+// the same path onto one in-flight fan-out: the first requester
+// scatters (detached from its own cancellation, so a leader hanging up
+// doesn't poison the shared answer — each leg still carries the
+// per-shard deadline), duplicates wait for its legs but honor their own
+// deadlines. Stats endpoints are read-only and shard-local, so a
+// coalesced answer is exactly as fresh as the racing reads it replaces.
+func (g *Gateway) gather(ctx context.Context, path string) []leg {
+	g.flightMu.Lock()
+	if f := g.flights[path]; f != nil {
+		g.flightMu.Unlock()
+		g.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.legs
+		case <-ctx.Done():
+			workers := g.table.Ring().Workers()
+			legs := make([]leg, len(workers))
+			for i, wk := range workers {
+				legs[i] = leg{worker: wk, err: ctx.Err()}
+			}
+			return legs
+		}
+	}
+	f := &gatherFlight{done: make(chan struct{})}
+	g.flights[path] = f
+	g.flightMu.Unlock()
+	defer func() {
+		g.flightMu.Lock()
+		delete(g.flights, path)
+		g.flightMu.Unlock()
+		close(f.done)
+	}()
+	f.legs = g.scatter(context.WithoutCancel(ctx), path)
+	return f.legs
+}
+
+// scatter queries path on every shard with bounded parallelism and a
 // per-shard deadline, returning one leg per worker in ring order. A
 // down shard yields a leg with err set — degradation, not failure.
-func (g *Gateway) gather(ctx context.Context, path string) []leg {
+func (g *Gateway) scatter(ctx context.Context, path string) []leg {
 	g.fanouts.Add(1)
 	workers := g.table.Ring().Workers()
 	legs := make([]leg, len(workers))
@@ -393,6 +446,7 @@ func (g *Gateway) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 		out.Shards = append(out.Shards, sc)
 		out.Hits += cs.Hits
 		out.Misses += cs.Misses
+		out.CoalescedHits += cs.CoalescedHits
 		out.Size += cs.Size
 		out.Capacity += cs.Capacity
 	}
@@ -444,6 +498,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	e.Add("pilgrim_gateway_shards", "Workers in the current shard map.", pilgrim.Gauge, float64(g.table.Ring().Len()))
 	e.Add("pilgrim_gateway_reloads_total", "Shard-map reloads that changed membership.", pilgrim.Counter, float64(g.reloads.Load()))
 	e.Add("pilgrim_gateway_fanouts_total", "Scatter-gather reads served.", pilgrim.Counter, float64(g.fanouts.Load()))
+	e.Add("pilgrim_gateway_coalesced_fanouts_total", "Fleet-wide reads answered by another request's in-flight fan-out.", pilgrim.Counter, float64(g.coalesced.Load()))
 	e.Add("pilgrim_gateway_fan_shard_errors_total", "Scatter-gather legs that failed (partial answers).", pilgrim.Counter, float64(g.fanErrors.Load()))
 	e.Add("pilgrim_gateway_proxy_errors_total", "Proxied requests whose owning shard was unreachable (502).", pilgrim.Counter, float64(g.proxyErrors.Load()))
 	g.mu.Lock()

@@ -2,12 +2,15 @@ package pilgrim
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"pilgrim/internal/sim"
 )
 
 // ForecastCache memoizes PNFS predictions behind a bounded LRU. A
@@ -23,8 +26,14 @@ type ForecastCache struct {
 	capacity int
 	entries  map[string]*list.Element
 	lru      *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
+	// flights is the in-flight coalescing table (flight.go): one entry
+	// per canonical key currently being simulated, so concurrent
+	// identical requests share one computation instead of racing to
+	// fill the LRU. Active even when capacity <= 0 disables the LRU.
+	flights   map[string]*flightCall
+	hits      uint64
+	misses    uint64
+	coalesced uint64
 }
 
 // cacheEntry is one memoized answer, predictions in canonical order. The
@@ -45,22 +54,26 @@ func NewForecastCache(capacity int) *ForecastCache {
 		capacity: capacity,
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
+		flights:  make(map[string]*flightCall),
 	}
 }
 
 // CacheStats is the hit/miss accounting surfaced by the server.
+// CoalescedHits counts requests answered by waiting on another
+// request's in-flight simulation — neither an LRU hit nor a paid miss.
 type CacheStats struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Size     int    `json:"size"`
-	Capacity int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	CoalescedHits uint64 `json:"coalesced_hits"`
+	Size          int    `json:"size"`
+	Capacity      int    `json:"capacity"`
 }
 
 // Stats returns a snapshot of the cache counters.
 func (fc *ForecastCache) Stats() CacheStats {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
-	return CacheStats{Hits: fc.hits, Misses: fc.misses, Size: fc.lru.Len(), Capacity: fc.capacity}
+	return CacheStats{Hits: fc.hits, Misses: fc.misses, CoalescedHits: fc.coalesced, Size: fc.lru.Len(), Capacity: fc.capacity}
 }
 
 // canonicalize returns the indices of transfers sorted by (Src, Dst,
@@ -70,8 +83,8 @@ func canonicalize(transfers []TransferRequest) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ta, tb := transfers[order[a]], transfers[order[b]]
+	less := func(a, b int) bool {
+		ta, tb := transfers[a], transfers[b]
 		if ta.Src != tb.Src {
 			return ta.Src < tb.Src
 		}
@@ -79,7 +92,19 @@ func canonicalize(transfers []TransferRequest) []int {
 			return ta.Dst < tb.Dst
 		}
 		return ta.Size < tb.Size
-	})
+	}
+	if len(order) > 64 {
+		sort.SliceStable(order, func(a, b int) bool { return less(order[a], order[b]) })
+		return order
+	}
+	// Insertion sort for request-sized inputs: stable by construction and
+	// allocation-free, where sort.SliceStable pays a reflect-based swapper
+	// on every call of the QPS path.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	return order
 }
 
@@ -93,10 +118,44 @@ func canonicalize(transfers []TransferRequest) []int {
 // never share answers. The split lets the evaluate layer canonicalize a
 // query once and re-key it per scenario epoch with one concatenation.
 
+// prefixMemoKey identifies one cacheKeyPrefix result. sim.Config is all
+// scalars, so the struct is comparable and map-keyable without boxing.
+type prefixMemoKey struct {
+	platform string
+	epoch    uint64
+	config   sim.Config
+}
+
+// prefixMemo caches cacheKeyPrefix renderings: the prefix is pure in
+// (platform, epoch, config), and its "%+v" formatting reflects over the
+// config struct — around ten allocations that would otherwise be paid
+// per request on the QPS path. Bounded by wholesale reset; entries are
+// tiny and epochs retire as platforms observe new link state.
+var prefixMemo struct {
+	sync.RWMutex
+	m map[prefixMemoKey]string
+}
+
+const prefixMemoCap = 1024
+
 // cacheKeyPrefix keys the (platform, epoch, config) the answer is valid
 // for.
 func cacheKeyPrefix(platform string, entry PlatformEntry) string {
-	return fmt.Sprintf("%s\x1c%d\x1c%+v", platform, entry.snapshot().Epoch(), entry.Config)
+	k := prefixMemoKey{platform: platform, epoch: entry.snapshot().Epoch(), config: entry.Config}
+	prefixMemo.RLock()
+	p, ok := prefixMemo.m[k]
+	prefixMemo.RUnlock()
+	if ok {
+		return p
+	}
+	p = fmt.Sprintf("%s\x1c%d\x1c%+v", k.platform, k.epoch, k.config)
+	prefixMemo.Lock()
+	if prefixMemo.m == nil || len(prefixMemo.m) >= prefixMemoCap {
+		prefixMemo.m = make(map[prefixMemoKey]string)
+	}
+	prefixMemo.m[k] = p
+	prefixMemo.Unlock()
+	return p
 }
 
 // transfersKey keys the transfer multiset (in the canonical order given).
@@ -130,10 +189,40 @@ func backgroundKey(background [][2]string) string {
 	return b.String()
 }
 
+// keyScratch pools cacheKey build buffers: the key is assembled
+// append-style into a reused buffer and materialized with one final
+// string allocation, instead of one allocation per size fragment plus
+// builder growth (this runs once per predict/select hypothesis — the
+// QPS path).
+var keyScratch = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
 // cacheKey builds the full canonical lookup key; background must already
 // be in canonical order.
 func cacheKey(platform string, entry PlatformEntry, transfers []TransferRequest, order []int, background [][2]string) string {
-	return cacheKeyPrefix(platform, entry) + transfersKey(transfers, order) + backgroundKey(background)
+	bp := keyScratch.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, cacheKeyPrefix(platform, entry)...)
+	for _, i := range order {
+		t := transfers[i]
+		b = append(b, 0x1e)
+		b = append(b, t.Src...)
+		b = append(b, 0x1f)
+		b = append(b, t.Dst...)
+		b = append(b, 0x1f)
+		b = strconv.AppendUint(b, math.Float64bits(t.Size), 16)
+	}
+	for _, p := range background {
+		b = append(b, 0x1d)
+		b = append(b, p[0]...)
+		b = append(b, 0x1f)
+		b = append(b, p[1]...)
+	}
+	key := string(b)
+	*bp = b
+	keyScratch.Put(bp)
+	return key
 }
 
 // canonicalBackground returns the background multiset in canonical
@@ -228,6 +317,14 @@ func (fc *ForecastCache) Store(key string, canonical []Prediction) {
 // entry (it is the cache key namespace), and the remaining arguments
 // mirror PredictTransfers. Predictions are returned in request order.
 func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers []TransferRequest, background [][2]string) ([]Prediction, error) {
+	return fc.PredictCtx(context.Background(), platform, entry, transfers, background)
+}
+
+// PredictCtx is Predict under a request context. Concurrent identical
+// requests coalesce onto one in-flight simulation (flight.go): the
+// first requester simulates, duplicates wait for its answer — but give
+// up when their own ctx expires, even if the leader runs on.
+func (fc *ForecastCache) PredictCtx(ctx context.Context, platform string, entry PlatformEntry, transfers []TransferRequest, background [][2]string) ([]Prediction, error) {
 	if len(transfers) == 0 {
 		return nil, fmt.Errorf("pilgrim: no transfers requested")
 	}
@@ -235,16 +332,14 @@ func (fc *ForecastCache) Predict(platform string, entry PlatformEntry, transfers
 	// the same snapshot even if the platform is recompiled mid-request.
 	entry = entry.WithSnapshot()
 	q := canonicalizeQuery(platform, entry, transfers, background)
-	if canonical, ok := fc.Lookup(q.key); ok {
-		return reorder(canonical, q.order), nil
-	}
 	// Simulate in canonical order so a given logical workload always
 	// produces a bit-identical answer regardless of parameter order.
-	canonical, err := PredictTransfers(entry, q.transfers, q.background)
+	canonical, err := fc.predictCanonical(ctx, q.key, func() ([]Prediction, error) {
+		return PredictTransfers(entry, q.transfers, q.background)
+	})
 	if err != nil {
 		return nil, err
 	}
-	fc.Store(q.key, canonical)
 	return reorder(canonical, q.order), nil
 }
 

@@ -453,11 +453,17 @@ func (ev *Evaluator) EvaluateCtx(ctx context.Context, name string, req EvaluateR
 	pool.evalRuns.Add(uint64(len(order)))
 	var supers []*superGroup
 	if ev.DisableDifferential {
+		errs := make([]error, len(order))
 		if err := pool.RunCtx(ctx, len(order), func(gi int) {
 			g := order[gi]
-			g.results = ev.runGroup(name, g, req.Queries, templates)
+			g.results, errs[gi] = ev.runGroup(ctx, name, g, req.Queries, templates)
 		}); err != nil {
 			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		// Groups deriving from one base epoch under one background picture
@@ -465,10 +471,16 @@ func (ev *Evaluator) EvaluateCtx(ctx context.Context, name string, req EvaluateR
 		// unit of fan-out, evaluated serially inside one pool slot.
 		supers = buildSuperGroups(order)
 		resp.Stats.BaseGroups = len(supers)
+		errs := make([]error, len(supers))
 		if err := pool.RunCtx(ctx, len(supers), func(si int) {
-			ev.runSuperGroup(name, supers[si], req.Queries, templates)
+			errs[si] = ev.runSuperGroup(ctx, name, supers[si], req.Queries, templates)
 		}); err != nil {
 			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -575,24 +587,34 @@ func buildSubTemplates(queries []EvalQuery) [][]subTemplate {
 }
 
 // planSub is one cacheable sub-simulation of a group's plan: where its
-// answer comes from (the cache, or a plan slot shared with identical
-// subs) and how to fold it back into its cell.
+// answer comes from (the cache, a plan slot shared with identical subs,
+// or another request's in-flight flight) and how to fold it back into
+// its cell.
 type planSub struct {
 	tmpl     *subTemplate
 	key      string
+	bg       [][2]string  // merged background (for the abandoned-flight fallback)
 	cached   []Prediction // canonical order, when the cache answered
-	planSlot int          // index into the RunPlan batch, -1 when cached
+	err      error        // terminal error delivered by a followed flight
+	planSlot int          // index into the RunPlan batch, -1 when cached/followed
+	flight   *flightCall  // in-flight answer owned by another request
 }
 
 // runGroup answers every request query against one derived epoch. All
 // misses across all queries run as a single sim.RunPlan batch on one
 // pooled engine; identical sub-simulations — across hypotheses, across
-// queries — collapse onto one plan slot.
-func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, templates [][]subTemplate) []EvalResult {
+// queries — collapse onto one plan slot, and subs another request is
+// already simulating coalesce onto that request's flight. Follows the
+// flight deadlock discipline (flight.go): every flight this group leads
+// completes before it waits on a followed one. A non-nil error is the
+// caller's ctx expiring mid-wait and fails the whole request.
+func (ev *Evaluator) runGroup(ctx context.Context, name string, g *evalGroup, queries []EvalQuery, templates [][]subTemplate) ([]EvalResult, error) {
 	results := make([]EvalResult, len(queries))
 	subs := make([][]planSub, len(queries)) // per query, its sub-simulations (nil for workflow)
 	var plan []sim.PlanQuery
+	var ledFlights []*flightCall    // parallel to plan
 	planIdx := make(map[string]int) // canonical key -> plan slot
+	followIdx := make(map[string]*flightCall)
 	prefix := cacheKeyPrefix(name, g.entry)
 
 	addSub := func(qi int, tmpl *subTemplate) {
@@ -600,17 +622,27 @@ func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, te
 		if len(tmpl.extraBg) > 0 {
 			bg = canonicalBackground(append(append([][2]string(nil), g.bg...), tmpl.extraBg...))
 		}
-		sub := planSub{tmpl: tmpl, key: prefix + tmpl.tKey + backgroundKey(bg), planSlot: -1}
-		if canonical, ok := ev.Cache.Lookup(sub.key); ok {
-			sub.cached = canonical
-			g.hits++
-		} else if slot, ok := planIdx[sub.key]; ok {
+		sub := planSub{tmpl: tmpl, key: prefix + tmpl.tKey + backgroundKey(bg), bg: bg, planSlot: -1}
+		if slot, ok := planIdx[sub.key]; ok {
 			sub.planSlot = slot // identical sub already planned this batch
 			g.hits++
-		} else {
+		} else if f, ok := followIdx[sub.key]; ok {
+			sub.flight = f // identical sub already followed this batch
+			g.hits++
+		} else if canonical, f, leader := ev.Cache.lead(sub.key); canonical != nil {
+			sub.cached = canonical
+			g.hits++
+		} else if leader {
 			sub.planSlot = len(plan)
 			planIdx[sub.key] = len(plan)
 			plan = append(plan, sim.PlanQuery{Transfers: tmpl.sims, Background: bg})
+			ledFlights = append(ledFlights, f)
+		} else {
+			// Another request is simulating this key right now: wait for
+			// its answer after our own plan runs and publishes.
+			sub.flight = f
+			followIdx[sub.key] = f
+			g.hits++
 		}
 		subs[qi] = append(subs[qi], sub)
 	}
@@ -640,22 +672,60 @@ func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, te
 		}
 	}
 
+	ledKeys := invertPlanIndex(planIdx, len(plan))
+	// Settle every led flight no matter how this function exits: a
+	// panic below must not leave followers waiting forever (abandon is
+	// a no-op on flights completed normally).
+	defer func() {
+		for slot, key := range ledKeys {
+			ev.Cache.abandon(key, ledFlights[slot])
+		}
+	}()
+
 	planResults := sim.RunPlan(g.entry.snapshot(), g.entry.Config, plan)
 	g.sims += len(plan)
 
 	// Convert and memoize each successful plan slot once; shared slots
-	// and later requests reuse the same canonical slice.
+	// and later requests reuse the same canonical slice. The Store
+	// precedes the flight completion (flight.go's arrival invariant).
 	planPreds := make([][]Prediction, len(plan))
-	for slot, key := range invertPlanIndex(planIdx, len(plan)) {
+	for slot, key := range ledKeys {
 		preds, err := planToPreds(&planResults[slot])
 		if err != nil {
+			ev.Cache.complete(key, ledFlights[slot], nil, err)
 			continue
 		}
 		planPreds[slot] = preds
 		ev.Cache.Store(key, preds)
+		ev.Cache.complete(key, ledFlights[slot], preds, nil)
 	}
+
+	// Only now — every led flight published — wait for the answers other
+	// requests are computing for us.
+	for qi := range subs {
+		for si := range subs[qi] {
+			sub := &subs[qi][si]
+			if sub.flight == nil {
+				continue
+			}
+			preds, err := ev.Cache.waitFlight(ctx, sub.key, sub.flight, func() ([]Prediction, error) {
+				res := sim.RunPlan(g.entry.snapshot(), g.entry.Config,
+					[]sim.PlanQuery{{Transfers: sub.tmpl.sims, Background: sub.bg}})
+				g.sims++
+				return planToPreds(&res[0])
+			})
+			if err != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			sub.cached, sub.err = preds, err
+		}
+	}
+
 	foldSubResults(queries, templates, func(qi, si int) ([]Prediction, error) {
 		sub := &subs[qi][si]
+		if sub.err != nil {
+			return nil, sub.err
+		}
 		if sub.cached != nil {
 			return sub.cached, nil
 		}
@@ -664,7 +734,7 @@ func (ev *Evaluator) runGroup(name string, g *evalGroup, queries []EvalQuery, te
 		}
 		return planPreds[sub.planSlot], nil
 	}, results)
-	return results
+	return results, nil
 }
 
 // planToPreds converts one plan result into canonical-order predictions.
@@ -804,13 +874,18 @@ type subAnswer struct {
 // resolves them by base-answer reuse, checkpoint fork, or batched cold
 // runs. All counters live on the member groups except baseSims, which
 // counts base-epoch work attributable to the supergroup as a whole.
-func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQuery, templates [][]subTemplate) {
+// Member-key misses lead coalescing flights (completed as each answer
+// lands) and keys another request is already simulating are followed —
+// but only after every led flight has published, per flight.go's
+// deadlock discipline. A non-nil error is ctx expiring mid-wait.
+func (ev *Evaluator) runSuperGroup(ctx context.Context, name string, sg *superGroup, queries []EvalQuery, templates [][]subTemplate) error {
 	// A lone member sitting on its own base epoch has nothing to diff
 	// against — the classic path is strictly cheaper.
 	if len(sg.members) == 1 && sg.members[0].delta.Empty() {
 		g := sg.members[0]
-		g.results = ev.runGroup(name, g, queries, templates)
-		return
+		var err error
+		g.results, err = ev.runGroup(ctx, name, g, queries, templates)
+		return err
 	}
 
 	base := sg.base.snapshot()
@@ -851,22 +926,39 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 	// the classic path's hit accounting: a repeated instance is an in-plan
 	// dedup hit) and classify what is left against the member's delta.
 	type memberState struct {
-		g       *evalGroup
-		prefix  string
-		answers []subAnswer
-		need    []int // dsub indices this member still has to resolve
-		class   []sim.DeltaClass
-		cold    []int // dsub indices falling back to a cold run
+		g        *evalGroup
+		prefix   string
+		answers  []subAnswer
+		need     []int // dsub indices this member still has to resolve
+		class    []sim.DeltaClass
+		cold     []int                // dsub indices falling back to a cold run
+		led      map[int]*flightCall  // flights this member leads, by dsub index
+		followed map[int]*flightCall  // flights owned by other requests, by dsub index
 	}
 	needBase := make([]bool, len(dsubs))
 	wantCk := make([]bool, len(dsubs))
 	members := make([]*memberState, len(sg.members))
+	// Settle every led flight no matter how this function exits: a panic
+	// must not leave followers waiting forever (abandon no-ops on
+	// flights completed normally below).
+	defer func() {
+		for _, m := range members {
+			if m == nil {
+				continue
+			}
+			for di, f := range m.led {
+				ev.Cache.abandon(m.prefix+dsubs[di].frag, f)
+			}
+		}
+	}()
 	for mi, g := range sg.members {
 		m := &memberState{
-			g:       g,
-			prefix:  cacheKeyPrefix(name, g.entry),
-			answers: make([]subAnswer, len(dsubs)),
-			class:   make([]sim.DeltaClass, len(dsubs)),
+			g:        g,
+			prefix:   cacheKeyPrefix(name, g.entry),
+			answers:  make([]subAnswer, len(dsubs)),
+			class:    make([]sim.DeltaClass, len(dsubs)),
+			led:      make(map[int]*flightCall),
+			followed: make(map[int]*flightCall),
 		}
 		members[mi] = m
 		needed := make([]bool, len(dsubs))
@@ -876,14 +968,25 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 					g.hits++ // cached answer shared by a repeated instance
 					continue
 				}
-				if needed[di] {
+				if needed[di] || m.followed[di] != nil {
 					g.hits++ // in-plan dedup: identical sub already pending
 					continue
 				}
-				if preds, ok := ev.Cache.Lookup(m.prefix + dsubs[di].frag); ok {
-					m.answers[di] = subAnswer{preds: preds, have: true}
+				cached, f, leader := ev.Cache.lead(m.prefix + dsubs[di].frag)
+				if cached != nil {
+					m.answers[di] = subAnswer{preds: cached, have: true}
 					g.hits++
 					continue
+				}
+				if !leader {
+					// Another request is simulating this key: collect its
+					// answer after every flight we lead has published.
+					m.followed[di] = f
+					g.hits++
+					continue
+				}
+				if f != nil {
+					m.led[di] = f
 				}
 				needed[di] = true
 				m.need = append(m.need, di)
@@ -909,19 +1012,36 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 	// handle separately costs only the plan setup), else by running the
 	// missing base subs as one batch with checkpoints where forks want
 	// them.
+	// Base keys lead flights too (leadOrRun) so concurrent predict
+	// requests against the base epoch can coalesce onto this batch —
+	// but this phase never waits on a foreign flight: member answers
+	// below depend on the base answers, and parking here could chain
+	// into a cross-request cycle. When another request owns the flight,
+	// the base sub just runs again (the pre-coalescing race, bounded to
+	// this window).
 	baseAns := make([]subAnswer, len(dsubs))
 	cks := make([]*sim.PlanCheckpoint, len(dsubs))
+	baseLed := make([]*flightCall, len(dsubs))
+	defer func() {
+		for di, f := range baseLed {
+			ev.Cache.abandon(basePrefix+dsubs[di].frag, f)
+		}
+	}()
 	var runIdx []int
 	for di := range dsubs {
 		if !needBase[di] {
 			continue
 		}
-		if preds, ok := ev.Cache.Lookup(basePrefix + dsubs[di].frag); ok {
+		preds, f, leader := ev.Cache.leadOrRun(basePrefix + dsubs[di].frag)
+		if preds != nil {
 			baseAns[di] = subAnswer{preds: preds, have: true}
 			if wantCk[di] {
 				cks[di] = sim.CheckpointPlan(base, sg.base.Config, dsubs[di].plan)
 			}
 			continue
+		}
+		if leader {
+			baseLed[di] = f
 		}
 		runIdx = append(runIdx, di)
 	}
@@ -941,6 +1061,7 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 			if err == nil {
 				ev.Cache.Store(basePrefix+dsubs[di].frag, preds)
 			}
+			ev.Cache.complete(basePrefix+dsubs[di].frag, baseLed[di], preds, err)
 		}
 	}
 
@@ -965,6 +1086,7 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 						if err == nil {
 							ev.Cache.Store(m.prefix+dsubs[di].frag, preds)
 						}
+						ev.Cache.complete(m.prefix+dsubs[di].frag, m.led[di], preds, err)
 						continue
 					}
 				}
@@ -979,6 +1101,7 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 						ev.Cache.Store(m.prefix+dsubs[di].frag, baseAns[di].preds)
 					}
 				}
+				ev.Cache.complete(m.prefix+dsubs[di].frag, m.led[di], baseAns[di].preds, baseAns[di].err)
 			case sim.ClassCold:
 				m.cold = append(m.cold, di)
 			}
@@ -999,9 +1122,31 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 				if err == nil {
 					ev.Cache.Store(m.prefix+dsubs[di].frag, preds)
 				}
+				ev.Cache.complete(m.prefix+dsubs[di].frag, m.led[di], preds, err)
 			}
 		}
+	}
 
+	// Every flight this supergroup leads has published; only now wait
+	// for the answers other requests are computing for us (flight.go's
+	// deadlock discipline).
+	for _, m := range members {
+		for di, f := range m.followed {
+			ds := &dsubs[di]
+			preds, err := ev.Cache.waitFlight(ctx, m.prefix+ds.frag, f, func() ([]Prediction, error) {
+				res := sim.RunPlan(m.g.entry.snapshot(), m.g.entry.Config, []sim.PlanQuery{ds.plan})
+				m.g.sims++
+				return planToPreds(&res[0])
+			})
+			if err != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			m.answers[di] = subAnswer{preds: preds, err: err, have: true}
+		}
+	}
+
+	for _, m := range members {
+		g := m.g
 		// Workflow cells bypass the transfer machinery entirely, exactly as
 		// in the classic path.
 		results := make([]EvalResult, len(queries))
@@ -1028,4 +1173,5 @@ func (ev *Evaluator) runSuperGroup(name string, sg *superGroup, queries []EvalQu
 		}, results)
 		g.results = results
 	}
+	return nil
 }

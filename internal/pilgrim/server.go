@@ -1,6 +1,7 @@
 package pilgrim
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,8 +9,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +46,12 @@ type Server struct {
 	// differentialOff disables warm-start differential evaluation (the
 	// -differential-eval=false escape hatch); the zero value keeps it on.
 	differentialOff atomic.Bool
+
+	// legacyJSON routes the hot simulation responses through
+	// encoding/json instead of the pooled hand-rolled encoders (the
+	// -legacy-json escape hatch); the zero value keeps the hot path on.
+	// Output is byte-identical either way.
+	legacyJSON atomic.Bool
 
 	// admission bounds the simulation endpoints (nil: unlimited);
 	// maxBodyBytes caps request bodies on the body-carrying endpoints
@@ -183,11 +192,14 @@ type OverCapacityError struct {
 // parameter (seconds, fractional allowed) to a simulation request.
 // Returns a context for the work, a cleanup to defer, and ok=false when
 // the request was already answered (429 on shed, 504 on a deadline that
-// expired while queued, 400 on a malformed deadline).
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, cleanup func(), ok bool) {
+// expired while queued, 400 on a malformed deadline). q is the
+// request's parsed query — the simulation handlers parse it exactly
+// once and share the value (url.Values parsing allocates per call, and
+// these are the QPS paths).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, q url.Values) (ctx context.Context, cleanup func(), ok bool) {
 	ctx = r.Context()
 	cancel := func() {}
-	if dl := r.URL.Query().Get("deadline"); dl != "" {
+	if dl := q.Get("deadline"); dl != "" {
 		secs, err := strconv.ParseFloat(dl, 64)
 		if err != nil || secs <= 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
 			http.Error(w, fmt.Sprintf("deadline %q is not a positive number of seconds", dl), http.StatusBadRequest)
@@ -288,6 +300,16 @@ func (s *Server) SetDifferentialEval(on bool) {
 	s.differentialOff.Store(!on)
 }
 
+// SetLegacyJSON routes the hot simulation responses (predict_transfers,
+// select_fastest, evaluate) through encoding/json instead of the pooled
+// hand-rolled encoders — the pilgrimd -legacy-json escape hatch. The
+// two paths produce byte-identical output (pinned by the encoder
+// differential tests); the flag exists so a suspected encoder bug can
+// be ruled out in production without a rebuild.
+func (s *Server) SetLegacyJSON(on bool) {
+	s.legacyJSON.Store(on)
+}
+
 // evaluator assembles the evaluate machinery from the server's live
 // configuration.
 func (s *Server) evaluator() *Evaluator {
@@ -311,17 +333,22 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.platforms.Names())
 }
 
-// parseTransferParam parses one "src,dst,size" value.
+// parseTransferParam parses one "src,dst,size" value. strings.Cut
+// instead of Split: no per-transfer slice allocation on the QPS path.
 func parseTransferParam(v string) (TransferRequest, error) {
-	parts := strings.Split(v, ",")
-	if len(parts) != 3 {
+	src, rest, ok := strings.Cut(v, ",")
+	if !ok {
 		return TransferRequest{}, fmt.Errorf("transfer %q is not src,dst,size", v)
 	}
-	size, err := strconv.ParseFloat(parts[2], 64)
+	dst, sizeStr, ok := strings.Cut(rest, ",")
+	if !ok || strings.Contains(sizeStr, ",") {
+		return TransferRequest{}, fmt.Errorf("transfer %q is not src,dst,size", v)
+	}
+	size, err := strconv.ParseFloat(sizeStr, 64)
 	if err != nil || size <= 0 || math.IsInf(size, 0) || math.IsNaN(size) {
 		return TransferRequest{}, fmt.Errorf("transfer %q has invalid size", v)
 	}
-	return TransferRequest{Src: parts[0], Dst: parts[1], Size: size}, nil
+	return TransferRequest{Src: src, Dst: dst, Size: size}, nil
 }
 
 // platformOf resolves the platform of the request, honoring the optional
@@ -330,7 +357,7 @@ func parseTransferParam(v string) (TransferRequest, error) {
 // the timeline epoch in effect at T; with a future T inside the horizon
 // cap, to the NWS-extrapolated forecast epoch. Beyond-horizon futures and
 // malformed timestamps answer 400, unknown platforms 404.
-func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEntry, bool) {
+func (s *Server) platformOf(w http.ResponseWriter, r *http.Request, q url.Values) (PlatformEntry, bool) {
 	if !s.ownsPlatform(w, r) {
 		return PlatformEntry{}, false
 	}
@@ -340,7 +367,7 @@ func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEnt
 		http.Error(w, fmt.Sprintf("unknown platform %q", name), http.StatusNotFound)
 		return PlatformEntry{}, false
 	}
-	if atParam := r.URL.Query().Get("at"); atParam != "" {
+	if atParam := q.Get("at"); atParam != "" {
 		at, err := parseTimestamp(atParam)
 		if err != nil {
 			http.Error(w, fmt.Sprintf("at: %v", err), http.StatusBadRequest)
@@ -360,17 +387,17 @@ func (s *Server) platformOf(w http.ResponseWriter, r *http.Request) (PlatformEnt
 //	GET /pilgrim/predict_transfers/g5k_test?transfer=src,dst,size&...
 //	    [&bg=src,dst]... [&at=T]
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	ctx, cleanup, ok := s.admit(w, r)
+	q := r.URL.Query()
+	ctx, cleanup, ok := s.admit(w, r, q)
 	if !ok {
 		return
 	}
 	defer cleanup()
-	entry, ok := s.platformOf(w, r)
+	entry, ok := s.platformOf(w, r, q)
 	if !ok {
 		return
 	}
-	q := r.URL.Query()
-	var transfers []TransferRequest
+	transfers := make([]TransferRequest, 0, len(q["transfer"]))
 	for _, v := range q["transfer"] {
 		t, err := parseTransferParam(v)
 		if err != nil {
@@ -385,12 +412,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	var background [][2]string
 	for _, v := range q["bg"] {
-		parts := strings.Split(v, ",")
-		if len(parts) != 2 {
+		src, dst, ok := strings.Cut(v, ",")
+		if !ok || strings.Contains(dst, ",") {
 			http.Error(w, fmt.Sprintf("bg %q is not src,dst", v), http.StatusBadRequest)
 			return
 		}
-		background = append(background, [2]string{parts[0], parts[1]})
+		background = append(background, [2]string{src, dst})
 	}
 	// One simulation, not interruptible mid-run: honor the deadline by
 	// refusing to start once it has passed (it may have expired while the
@@ -399,12 +426,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		finishCtx(w, err)
 		return
 	}
-	preds, err := s.cache.Load().Predict(r.PathValue("platform"), entry, transfers, background)
+	preds, err := s.cache.Load().PredictCtx(ctx, r.PathValue("platform"), entry, transfers, background)
 	if err != nil {
+		if finishCtx(w, err) {
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, preds)
+	s.writePredictions(w, preds)
 }
 
 // handleCacheStats reports the forecast cache's hit/miss counters, the
@@ -443,7 +473,7 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 // cache + in-request dedup). Per-scenario and per-cell failures are
 // reported inside the grid; request-shape problems answer 400.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	ctx, cleanup, ok := s.admit(w, r)
+	ctx, cleanup, ok := s.admit(w, r, r.URL.Query())
 	if !ok {
 		return
 	}
@@ -457,11 +487,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req EvaluateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit())).Decode(&req); err != nil {
-		if bodyTooLarge(w, s, err) {
-			return
-		}
-		http.Error(w, fmt.Sprintf("decoding evaluate request: %v", err), http.StatusBadRequest)
+	if !s.decodeJSONBody(w, r, "evaluate request", &req) {
 		return
 	}
 	resp, err := s.evaluator().EvaluateCtx(ctx, name, req)
@@ -472,7 +498,44 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, resp)
+	s.writeEvaluate(w, resp)
+}
+
+// bodyScratch pools the body-read buffers behind decodeJSONBody: the
+// evaluate and predict_workflow decode paths read the whole (capped)
+// body into a reused buffer and unmarshal from it, instead of paying a
+// fresh json.Decoder plus its internal read buffer per request.
+var bodyScratch = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBody bounds the buffer capacity bodyScratch retains; a
+// one-off huge body should not pin its backing array forever.
+const maxPooledBody = 1 << 20
+
+// decodeJSONBody reads r's JSON body — capped at the configured body
+// limit — into a pooled scratch buffer and unmarshals it into v.
+// Reports whether it succeeded; on failure the response (413 or 400)
+// has been written. json.Unmarshal copies every string it decodes, so
+// recycling the scratch after return is safe.
+func (s *Server) decodeJSONBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	buf := bodyScratch.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBody {
+			bodyScratch.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.bodyLimit())); err != nil {
+		if bodyTooLarge(w, s, err) {
+			return false
+		}
+		http.Error(w, fmt.Sprintf("decoding %s: %v", what, err), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+		http.Error(w, fmt.Sprintf("decoding %s: %v", what, err), http.StatusBadRequest)
+		return false
+	}
+	return true
 }
 
 // bodyTooLarge answers the structured 413 when err is the MaxBytesReader
@@ -567,17 +630,18 @@ func (s *Server) handleBgEstimatePost(w http.ResponseWriter, r *http.Request) {
 //
 //	GET /pilgrim/select_fastest/g5k_test?hypothesis=src,dst,size[;src,dst,size...]&hypothesis=...[&at=T]
 func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
-	ctx, cleanup, ok := s.admit(w, r)
+	q := r.URL.Query()
+	ctx, cleanup, ok := s.admit(w, r, q)
 	if !ok {
 		return
 	}
 	defer cleanup()
-	entry, ok := s.platformOf(w, r)
+	entry, ok := s.platformOf(w, r, q)
 	if !ok {
 		return
 	}
 	var hyps []Hypothesis
-	for _, hv := range r.URL.Query()["hypothesis"] {
+	for _, hv := range q["hypothesis"] {
 		var h Hypothesis
 		for _, tv := range strings.Split(hv, ";") {
 			t, err := parseTransferParam(tv)
@@ -602,31 +666,25 @@ func (s *Server) handleSelectFastest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, struct {
-		Best    int                `json:"best"`
-		Results []HypothesisResult `json:"results"`
-	}{Best: best, Results: results})
+	s.writeSelectFastest(w, best, results)
 }
 
 // handleWorkflow implements the workflow-forecast extension (future work
 // §VI): POST a JSON workflow DAG of compute and transfer tasks, receive
 // the simulated schedule and makespan.
 func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
-	ctx, cleanup, ok := s.admit(w, r)
+	q := r.URL.Query()
+	ctx, cleanup, ok := s.admit(w, r, q)
 	if !ok {
 		return
 	}
 	defer cleanup()
-	entry, ok := s.platformOf(w, r)
+	entry, ok := s.platformOf(w, r, q)
 	if !ok {
 		return
 	}
 	var wf workflow.Workflow
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit())).Decode(&wf); err != nil {
-		if bodyTooLarge(w, s, err) {
-			return
-		}
-		http.Error(w, fmt.Sprintf("decoding workflow: %v", err), http.StatusBadRequest)
+	if !s.decodeJSONBody(w, r, "workflow", &wf) {
 		return
 	}
 	if err := ctx.Err(); err != nil {

@@ -277,7 +277,7 @@ func (p *WorkerPool) SelectFastestCached(fc *ForecastCache, platform string, ent
 // every hypothesis got a worker.
 func (p *WorkerPool) SelectFastestCachedCtx(ctx context.Context, fc *ForecastCache, platform string, entry PlatformEntry, hyps []Hypothesis) (best int, results []HypothesisResult, err error) {
 	return p.selectFastestCtx(ctx, hyps, func(transfers []TransferRequest) ([]Prediction, error) {
-		return fc.Predict(platform, entry, transfers, nil)
+		return fc.PredictCtx(ctx, platform, entry, transfers, nil)
 	})
 }
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh — end-to-end serving drill with real binaries.
+#
+# Builds pilgrimd and pilgrimload, starts a worker on a loopback port,
+# then drives the predict_transfers hot path for ~2 seconds with the
+# closed-loop load generator. pilgrimload itself enforces the contract
+# (docs/OPERATIONS.md, "Load testing"):
+#
+#   - nonzero throughput (-min-qps 50 — trivially cleared by a healthy
+#     serving path, which sustains thousands of QPS even on tiny CI
+#     machines, but fails a wedged or erroring server);
+#   - zero request errors (-max-errors 0);
+#
+# and the script additionally asserts that the duplicate-heavy workload
+# actually exercised the coalescing/cache layer (cache_stats must report
+# forecast-cache hits).
+#
+# CI runs this as the loadgen-smoke job; locally: make loadgen-smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18091
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "loadgen-smoke: building binaries"
+go build -o "$tmp/pilgrimd" ./cmd/pilgrimd
+go build -o "$tmp/pilgrimload" ./cmd/pilgrimload
+
+echo "loadgen-smoke: starting pilgrimd on $ADDR"
+"$tmp/pilgrimd" -addr "$ADDR" -platforms g5k_mini >"$tmp/d.log" 2>&1 &
+pids+=($!)
+
+healthy=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/pilgrim/platforms" 2>/dev/null | grep -q g5k_mini; then
+        healthy=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$healthy" -ne 1 ]; then
+    echo "loadgen-smoke: FAIL — pilgrimd did not become healthy" >&2
+    tail -n 20 "$tmp/d.log" >&2
+    exit 1
+fi
+
+echo "loadgen-smoke: driving load for 2s"
+"$tmp/pilgrimload" -server "http://$ADDR" -platform g5k_mini \
+    -duration 2s -concurrency 8 -distinct 16 -transfers 8 \
+    -min-qps 50 -max-errors 0 -json "$tmp/report.json"
+
+grep -q '"errors": 0' "$tmp/report.json" ||
+    { echo "loadgen-smoke: FAIL — report has errors" >&2; exit 1; }
+curl -fsS "http://$ADDR/pilgrim/cache_stats" | grep -q '"hits": [1-9]' ||
+    { echo "loadgen-smoke: FAIL — forecast cache saw no hits under duplicate-heavy load" >&2; exit 1; }
+echo "loadgen-smoke: cache hit path exercised"
+
+# Graceful shutdown: the worker must drain and exit 0 on SIGTERM.
+kill -TERM "${pids[0]}"
+if ! wait "${pids[0]}"; then
+    echo "loadgen-smoke: FAIL — pilgrimd did not exit cleanly on SIGTERM" >&2
+    tail -n 20 "$tmp/d.log" >&2
+    exit 1
+fi
+pids=()
+echo "loadgen-smoke: PASS"
